@@ -1,0 +1,127 @@
+"""Ablation: BGP poisoning vs no-export communities (paper §III-A-c, §VIII).
+
+The paper calls poisoning "best-effort": ASes that disable loop prevention
+ignore it.  The §VIII community extension severs the same provider links
+via provider action communities, which the target cannot ignore.  This
+ablation deploys the same (provider, neighbor) sever targets both ways on
+an Internet where a third of ASes ignore poisoning, and compares the
+*sever success rate*: the fraction of targets that stop taking the route
+directly from the targeted provider.
+
+Poisoning also stuffs the AS-path (the ``o u o`` PEERING format), which
+perturbs path-length decisions Internet-wide; the benchmark reports those
+side-effect moves too — they help localization but are not controllable.
+"""
+
+import pytest
+
+from repro.bgp.announcement import anycast_all
+from repro.bgp.policy import PolicyModel
+from repro.bgp.simulator import RoutingSimulator
+from repro.core.configgen import (
+    community_configs,
+    poison_configs,
+    provider_neighbor_targets,
+)
+from repro.core.pipeline import build_testbed
+from repro.topology import TopologyParams
+
+CAP = 4  # targets per provider
+
+
+@pytest.fixture(scope="module")
+def hostile_testbed():
+    """Testbed where a third of ASes ignore poisoning."""
+    testbed = build_testbed(
+        seed=9,
+        topology_params=TopologyParams(
+            num_tier1=6, num_transit=60, num_stub=300, seed=9
+        ),
+    )
+    policy = PolicyModel(
+        testbed.graph,
+        seed=9,
+        policy_noise=0.05,
+        loop_prevention_disabled_fraction=0.33,
+        tier1_leak_filtering=True,
+    )
+    simulator = RoutingSimulator(testbed.graph, testbed.origin, policy)
+    return testbed, simulator
+
+
+def sever_stats(testbed, simulator, configs, baseline):
+    """(successes, applicable targets, side-effect moves) for a config set."""
+    successes = 0
+    applicable = 0
+    side_moves = 0
+    for config in configs:
+        if config.poisoned:
+            ((link, targets),) = config.poisoned.items()
+        else:
+            ((link, targets),) = config.no_export.items()
+        (target,) = targets
+        provider = testbed.origin.provider_of(link)
+        baseline_route = baseline.route(target)
+        outcome = simulator.simulate(config)
+        side_moves += sum(
+            1
+            for asn in baseline.covered_ases
+            if asn != target
+            and outcome.catchment_of(asn) is not None
+            and outcome.catchment_of(asn) != baseline.catchment_of(asn)
+        )
+        if baseline_route is None or baseline_route.learned_from != provider:
+            continue  # target was not using the provider: nothing to sever
+        applicable += 1
+        after = outcome.route(target)
+        if after is None or after.learned_from != provider:
+            successes += 1
+    return successes, applicable, side_moves
+
+
+def test_poisoning_vs_communities(benchmark, hostile_testbed, capsys):
+    testbed, simulator = hostile_testbed
+
+    def run_ablation():
+        baseline = simulator.simulate(anycast_all(testbed.origin.link_ids))
+        poisons = poison_configs(testbed.origin, testbed.graph, max_per_provider=CAP)
+        communities = community_configs(
+            testbed.origin, testbed.graph, max_per_provider=CAP
+        )
+        poison_ok, poison_n, poison_side = sever_stats(
+            testbed, simulator, poisons, baseline
+        )
+        community_ok, community_n, community_side = sever_stats(
+            testbed, simulator, communities, baseline
+        )
+        return {
+            "poison_rate": poison_ok / poison_n if poison_n else 1.0,
+            "community_rate": community_ok / community_n if community_n else 1.0,
+            "applicable": poison_n,
+            "poison_side": poison_side,
+            "community_side": community_side,
+        }
+
+    result = benchmark.pedantic(run_ablation, iterations=1, rounds=2)
+
+    assert result["applicable"] > 0
+    # Communities always sever the direct provider edge; poisoning fails
+    # wherever loop prevention is off (a third of ASes here).
+    assert result["community_rate"] == 1.0
+    assert result["poison_rate"] < 1.0
+    assert result["community_rate"] > result["poison_rate"]
+
+    with capsys.disabled():
+        print()
+        print(
+            f"ablation: severing {result['applicable']} provider-neighbor "
+            "edges (33% of ASes ignore poisoning)"
+        )
+        print(
+            f"  BGP poisoning         : {result['poison_rate']:.0%} severed, "
+            f"{result['poison_side']} side-effect AS-moves"
+        )
+        print(
+            f"  no-export communities : {result['community_rate']:.0%} severed, "
+            f"{result['community_side']} side-effect AS-moves"
+        )

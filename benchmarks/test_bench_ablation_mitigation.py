@@ -1,0 +1,84 @@
+"""Ablation: localization precision → mitigation collateral damage.
+
+The paper motivates localization as input to RTBH/flowspec mitigation
+(§I).  This ablation quantifies the payoff of deploying more announcement
+configurations before filtering: flowspec rules scoped by sharper
+clusters drop the same attack volume while catching monotonically fewer
+innocent ASes — and always beat the RTBH baseline's zero selectivity.
+"""
+
+import random
+
+import pytest
+
+from repro.core.pipeline import SpoofTracker
+from repro.mitigation import (
+    BlackholeRule,
+    evaluate_mitigation,
+    rules_from_localization,
+)
+from repro.spoof.sources import pareto_placement
+
+BUDGETS = (4, 32, 128)
+
+
+def test_mitigation_vs_budget(benchmark, bench_run, capsys):
+    testbed = bench_run.testbed
+    tracker = SpoofTracker.from_testbed(testbed)
+    placement = pareto_placement(
+        sorted(testbed.topology.stubs), 20, random.Random(4)
+    )
+
+    def run_ablation():
+        results = {}
+        for budget in BUDGETS:
+            report = tracker.run(max_configs=budget, placement=placement)
+            rules = rules_from_localization(
+                report.localization,
+                volume_fraction=1.0,
+                catchments=report.catchment_history[0],
+            )
+            results[budget] = evaluate_mitigation(
+                rules, placement, report.catchment_history[0]
+            )
+        rtbh_report = tracker.run(max_configs=1, placement=placement)
+        results["rtbh"] = evaluate_mitigation(
+            [BlackholeRule()], placement, rtbh_report.catchment_history[0]
+        )
+        return results
+
+    results = benchmark.pedantic(run_ablation, iterations=1, rounds=2)
+
+    # Attack coverage grows with the budget: at few configurations the
+    # volume system is under-determined and NNLS can misattribute shares;
+    # at the largest budget attribution is exact.
+    # (Exact recovery is not guaranteed even with many configurations:
+    # cluster indicator columns can be linearly dependent, so NNLS may
+    # attribute a shared volume to the wrong member of the dependency.)
+    coverage = [results[budget].attack_volume_dropped for budget in BUDGETS]
+    assert all(b >= a - 1e-9 for a, b in zip(coverage, coverage[1:]))
+    assert coverage[0] > 0.5
+    assert coverage[-1] > 0.8
+    # Collateral damage shrinks (weakly) as the budget grows.
+    collateral = [results[budget].legitimate_volume_dropped for budget in BUDGETS]
+    assert all(b <= a + 1e-9 for a, b in zip(collateral, collateral[1:]))
+    # Flowspec beats the blackhole baseline at every budget.
+    assert results["rtbh"].selectivity == pytest.approx(0.0)
+    for budget in BUDGETS:
+        assert results[budget].selectivity > results["rtbh"].selectivity
+
+    with capsys.disabled():
+        print()
+        print("ablation: flowspec collateral vs announcement budget")
+        print(
+            f"  RTBH baseline: attack {results['rtbh'].attack_volume_dropped:.0%}, "
+            f"collateral {results['rtbh'].legitimate_volume_dropped:.0%}"
+        )
+        for budget in BUDGETS:
+            evaluation = results[budget]
+            print(
+                f"  {budget:>4} configs: attack "
+                f"{evaluation.attack_volume_dropped:.0%}, collateral "
+                f"{evaluation.legitimate_volume_dropped:.0%}, "
+                f"{evaluation.ases_filtered} ASes filtered"
+            )

@@ -1,0 +1,96 @@
+"""Ablation: targeted distant poisoning of large clusters (paper §V-B).
+
+The paper's stated future work: "investigate targeted poisoning of distant
+ASes to induce route changes specific to split these large distant
+clusters".  This benchmark runs the base locations+prepending schedule,
+then measures how much the targeted splitter shrinks the surviving large
+clusters compared to spending the same extra budget on more untargeted
+poison configurations.
+"""
+
+import pytest
+
+from repro.core.clustering import ClusterState
+from repro.core.configgen import ScheduleParams, generate_schedule, poison_configs
+from repro.core.pipeline import build_testbed
+from repro.core.refinement import LargeClusterSplitter
+from repro.topology import TopologyParams
+
+THRESHOLD = 5
+EXTRA_BUDGET = 30
+
+
+@pytest.fixture(scope="module")
+def base_state():
+    testbed = build_testbed(
+        seed=3,
+        topology_params=TopologyParams(
+            num_tier1=6, num_transit=60, num_stub=300, seed=3
+        ),
+    )
+    schedule = generate_schedule(
+        testbed.origin, testbed.graph, ScheduleParams(include_poisoning=False)
+    )
+    outcomes = [testbed.simulator.simulate(config) for config in schedule]
+    universe = outcomes[0].covered_ases
+    state = ClusterState(universe)
+    for outcome in outcomes:
+        state.refine_with_catchments(
+            {link: m & universe for link, m in outcome.catchments.items()}
+        )
+    return testbed, state
+
+
+def test_targeted_splitting(benchmark, base_state, capsys):
+    testbed, state = base_state
+
+    def run_ablation():
+        targeted = state.copy()
+        splitter = LargeClusterSplitter(
+            testbed.simulator,
+            testbed.origin,
+            threshold=THRESHOLD,
+            max_targets_per_cluster=4,
+        )
+        report = splitter.split(targeted, max_rounds=4, max_configs=EXTRA_BUDGET)
+
+        untargeted = state.copy()
+        extra = poison_configs(testbed.origin, testbed.graph)[:EXTRA_BUDGET]
+        for config in extra:
+            outcome = testbed.simulator.simulate(config)
+            untargeted.refine_with_catchments(
+                {link: frozenset(m) for link, m in outcome.catchments.items()}
+            )
+        return {
+            "before_max": max(state.sizes()),
+            "targeted_max": max(targeted.sizes()),
+            "untargeted_max": max(untargeted.sizes()),
+            "targeted_mean": targeted.mean_size(),
+            "untargeted_mean": untargeted.mean_size(),
+            "configs_used": len(report.configs_deployed),
+        }
+
+    result = benchmark.pedantic(run_ablation, iterations=1, rounds=2)
+
+    # Targeted splitting must shrink the tail, and do at least as well on
+    # the largest cluster as the same budget of untargeted poisons.
+    assert result["targeted_max"] < result["before_max"]
+    assert result["targeted_max"] <= result["untargeted_max"]
+    assert result["configs_used"] <= EXTRA_BUDGET
+
+    with capsys.disabled():
+        print()
+        print(
+            f"ablation: splitting clusters > {THRESHOLD} ASes with "
+            f"<= {EXTRA_BUDGET} extra configurations"
+        )
+        print(f"  base schedule largest cluster    : {result['before_max']} ASes")
+        print(
+            f"  + targeted distant poisons       : {result['targeted_max']} ASes "
+            f"(mean {result['targeted_mean']:.2f}, "
+            f"{result['configs_used']} configs)"
+        )
+        print(
+            f"  + untargeted provider poisons    : {result['untargeted_max']} ASes "
+            f"(mean {result['untargeted_mean']:.2f})"
+        )

@@ -1,0 +1,37 @@
+"""Figure 10 benchmark: spoofed-traffic volume vs cluster size.
+
+Paper shape targets: for uniform, Pareto, and single-source placements,
+most spoofed traffic originates from ASes in small clusters (following
+from Figure 3's small-cluster dominance).
+"""
+
+from repro.analysis.figures import figure10
+from repro.analysis.report import render_figure
+
+
+def test_figure10(benchmark, bench_run, capsys):
+    result = benchmark.pedantic(
+        figure10,
+        args=(bench_run,),
+        kwargs=dict(num_placements=60, num_sources=20, max_size=16, seed=2),
+        iterations=1,
+        rounds=2,
+    )
+
+    assert {series.name for series in result.series} == {
+        "Uniform Distribution",
+        "Pareto Distribution",
+        "Single Source",
+    }
+    for series in result.series:
+        ys = [y for _, y in series.points]
+        # Cumulative, bounded, and dominated by small clusters.
+        assert ys == sorted(ys)
+        assert ys[-1] <= 1.0 + 1e-9
+        points = dict(series.points)
+        assert points[1.0] > 0.3      # singletons already carry volume
+        assert points[8.0] > 0.6      # most volume within small clusters
+
+    with capsys.disabled():
+        print()
+        print(render_figure(result))

@@ -1,0 +1,40 @@
+"""Figure 3 benchmark: CCDF of cluster sizes after each phase.
+
+Paper shape targets: all three techniques shrink clusters; after the full
+schedule most clusters are singletons (92% in the paper) and the mean is
+small (1.40 ASes); each successive phase tightens the tail.
+"""
+
+from repro.analysis.figures import figure3
+from repro.analysis.report import render_figure
+
+
+def test_figure3(benchmark, bench_run, capsys):
+    result = benchmark(figure3, bench_run)
+
+    assert [series.name for series in result.series] == [
+        "Locations",
+        "Locations and prepending",
+        "Locations, prepending, and poisoning",
+    ]
+    # Valid CCDFs.
+    for series in result.series:
+        ys = [y for _, y in series.points]
+        assert ys[0] == 1.0
+        assert ys == sorted(ys, reverse=True)
+    # Each phase shrinks (or holds) the largest cluster.
+    maxima = [max(x for x, _ in series.points) for series in result.series]
+    assert maxima[0] >= maxima[1] >= maxima[2]
+    # Most clusters end up small: CCDF at size 5 under 20%.
+    final = dict(result.series[-1].points)
+    tail_fraction = min(
+        (fraction for size, fraction in final.items() if size > 5), default=0.0
+    )
+    assert tail_fraction < 0.2
+    # Headline notes present for the harness log.
+    assert any("paper: 1.40" in note for note in result.notes)
+    assert any("paper: 92%" in note for note in result.notes)
+
+    with capsys.disabled():
+        print()
+        print(render_figure(result))

@@ -1,0 +1,33 @@
+"""Figure 4 benchmark: cluster sizes vs number of configurations.
+
+Paper shape targets: the mean declines monotonically with diminishing
+returns; phase boundaries are visible; extra configurations keep helping
+(final mean well below the locations-phase end).
+"""
+
+from repro.analysis.figures import figure4
+from repro.analysis.report import render_figure
+
+
+def test_figure4(benchmark, bench_run, capsys):
+    result = benchmark(figure4, bench_run)
+
+    means = [y for _, y in result.series_named("Mean Cluster Size").points]
+    p90s = [y for _, y in result.series_named("90th Percentile").points]
+    assert len(means) == len(bench_run.schedule)
+    # Refinement never increases the mean.
+    assert all(b <= a + 1e-9 for a, b in zip(means, means[1:]))
+    # Diminishing returns: the first half of the schedule does more work
+    # than the second half.
+    half = len(means) // 2
+    assert (means[0] - means[half]) > (means[half] - means[-1])
+    # Later phases still help beyond the locations phase (paper: "small
+    # steps following the vertical bars").
+    boundaries = bench_run.phase_boundaries()
+    assert means[-1] < means[boundaries["locations"] - 1]
+    # p90 is a cluster-size percentile: at least 1 always.
+    assert all(value >= 1.0 for value in p90s)
+
+    with capsys.disabled():
+        print()
+        print(render_figure(result))

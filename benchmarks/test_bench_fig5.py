@@ -1,0 +1,33 @@
+"""Figure 5 benchmark: mean cluster size when removing peering locations.
+
+Paper shape targets: more locations allow more configurations and reach
+smaller final clusters; with the same number of announcements, more
+locations still do at least as well.
+"""
+
+from repro.analysis.figures import figure5
+from repro.analysis.report import render_figure
+
+
+def test_figure5(benchmark, bench_run, capsys):
+    result = benchmark(figure5, bench_run, (0, 1, 2), 4)
+
+    all_curve = result.series_named("All locations").points
+    six_curve = result.series_named("Six locations").points
+    five_curve = result.series_named("Five locations").points
+    # More locations → more configurations available (358 / 118 / 31 in
+    # the paper's setup — exact for 7 links with the paper's generation).
+    assert len(all_curve) == 358
+    assert len(six_curve) == 118
+    assert len(five_curve) == 31
+    # Final mean cluster size ordering: all ≤ six ≤ five.
+    assert all_curve[-1][1] <= six_curve[-1][1] <= five_curve[-1][1]
+    # The min/max envelopes bracket the mean.
+    six_min = result.series_named("Six locations (min)").points
+    six_max = result.series_named("Six locations (max)").points
+    for (_, low), (_, mid), (_, high) in zip(six_min, six_curve, six_max):
+        assert low - 1e-9 <= mid <= high + 1e-9
+
+    with capsys.disabled():
+        print()
+        print(render_figure(result))

@@ -1,0 +1,38 @@
+"""Figure 6 benchmark: final cluster-size CCDF with fewer locations.
+
+Paper shape targets: discarding locations fattens the tail of the final
+cluster-size distribution (0.1% vs 1.27% vs 4.29% of clusters above 25
+ASes in the paper).
+"""
+
+from repro.analysis.figures import figure6
+from repro.analysis.report import render_figure
+
+
+def _tail_mass(series, threshold):
+    """CCDF value at the smallest size > threshold (0 when none)."""
+    eligible = [fraction for size, fraction in series.points if size > threshold]
+    return max(eligible, default=0.0)
+
+
+def test_figure6(benchmark, bench_run, capsys):
+    result = benchmark(figure6, bench_run, (0, 1, 2), 4)
+
+    all_series = result.series_named("All locations")
+    six_series = result.series_named("Six locations")
+    five_series = result.series_named("Five locations")
+    for series in (all_series, six_series, five_series):
+        ys = [y for _, y in series.points]
+        assert ys[0] == 1.0
+        assert ys == sorted(ys, reverse=True)
+    # Fewer locations → heavier tail (measured above 10 ASes at this
+    # scale, standing in for the paper's 25-AS threshold).
+    assert _tail_mass(all_series, 10) <= _tail_mass(five_series, 10) + 1e-9
+    # Largest surviving cluster grows as locations are removed.
+    assert max(x for x, _ in all_series.points) <= max(
+        x for x, _ in five_series.points
+    )
+
+    with capsys.disabled():
+        print()
+        print(render_figure(result))

@@ -1,0 +1,34 @@
+"""Figure 9 benchmark: fraction of ASes following well-known policies.
+
+Paper shape targets: most ASes follow the best-relationship criterion in
+every configuration; the fraction following both criteria (Gao-Rexford)
+is lower but still high — routing is largely predictable.
+"""
+
+from repro.analysis.figures import figure9
+from repro.analysis.report import render_figure
+from repro.analysis.stats import percentile
+
+
+def test_figure9(benchmark, bench_run, capsys):
+    result = benchmark(figure9, bench_run)
+
+    best_rel = [stats.best_relationship for stats in bench_run.compliance]
+    both = [
+        stats.best_relationship_and_shortest for stats in bench_run.compliance
+    ]
+    # Both-criteria compliance can never exceed best-relationship.
+    for both_value, rel_value in zip(both, best_rel):
+        assert both_value <= rel_value + 1e-9
+    # Most ASes follow the rules in the median configuration.
+    assert percentile(best_rel, 50.0) > 0.85
+    assert percentile(both, 50.0) > 0.75
+    # CDF series are well-formed.
+    for series in result.series:
+        ys = [y for _, y in series.points]
+        assert ys == sorted(ys)
+        assert ys[-1] <= 1.0 + 1e-9
+
+    with capsys.disabled():
+        print()
+        print(render_figure(result))

@@ -1,0 +1,20 @@
+"""Table I benchmark: PoPs and providers of the testbed origin."""
+
+from repro.analysis.report import render_figure  # noqa: F401  (harness import)
+from repro.analysis.tables import table1
+
+
+def test_table1(benchmark, bench_run, capsys):
+    table = benchmark(table1, bench_run.testbed)
+
+    assert len(table.rows) == 7  # seven muxes, like the paper's Table I
+    mux_names = {row[0] for row in table.rows}
+    assert {"AMS-IX", "GRNet", "USC/ISI", "NEU", "Seattle-IX", "UFMG", "UW"} == (
+        mux_names
+    )
+    providers = {row[1] for row in table.rows}
+    assert len(providers) == 7  # one distinct transit provider per mux
+
+    with capsys.disabled():
+        print()
+        print(table.render())

@@ -1,0 +1,20 @@
+"""Table II benchmark: the IP-traceback comparison taxonomy."""
+
+from repro.analysis.tables import table2
+
+
+def test_table2(benchmark, capsys):
+    table = benchmark(table2)
+
+    assert len(table.rows) == 6
+    this_paper = table.rows[-1]
+    assert this_paper[0] == "Routing (this paper)"
+    # The paper's claims: no cooperation, no router updates, no overhead,
+    # AS-level precision, long identification delay.
+    assert this_paper[2:] == ("No", "No", "No", "AS", "Long")
+    marking = [row for row in table.rows if row[0] == "Marking"][0]
+    assert marking[3] == "Yes"  # marking needs router updates
+
+    with capsys.disabled():
+        print()
+        print(table.render())

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Peering-footprint planning (paper §V-B, Figures 5 and 6).
+
+An operator deciding whether deploying this technique is worthwhile wants
+to know: *how many peering links do I need for actionable localization?*
+This example sweeps the number of peering links over the same synthetic
+Internet and reports, for each footprint, the configuration budget and the
+final cluster statistics — reproducing the paper's conclusion that
+localization precision grows with the peering footprint.
+
+Run:  python examples/footprint_planning.py
+"""
+
+from repro.core.clustering import ClusterState
+from repro.core.configgen import ScheduleParams, generate_schedule
+from repro.core.pipeline import build_testbed
+from repro.topology import TopologyParams
+
+
+def evaluate_footprint(num_links: int, seed: int = 11) -> dict:
+    """Run the locations+prepending schedule for one footprint size."""
+    testbed = build_testbed(
+        seed=seed,
+        topology_params=TopologyParams(
+            num_tier1=6, num_transit=60, num_stub=300, seed=seed
+        ),
+        num_links=num_links,
+    )
+    params = ScheduleParams(
+        max_removed=min(3, num_links - 1), include_poisoning=False
+    )
+    schedule = generate_schedule(testbed.origin, testbed.graph, params)
+    outcomes = [testbed.simulator.simulate(config) for config in schedule]
+    universe = outcomes[0].covered_ases
+    state = ClusterState(universe)
+    for outcome in outcomes:
+        state.refine_with_catchments(
+            {link: m & universe for link, m in outcome.catchments.items()}
+        )
+    return {
+        "links": num_links,
+        "configs": len(schedule),
+        "ases": len(universe),
+        "mean": state.mean_size(),
+        "p90": state.size_percentile(90.0),
+        "max": max(state.sizes()),
+        "singletons": state.singleton_fraction(),
+    }
+
+
+def main() -> None:
+    print("Sweeping peering footprint on one synthetic Internet")
+    print(
+        f"{'links':>5}  {'configs':>7}  {'ASes':>5}  {'mean':>6}  "
+        f"{'p90':>5}  {'max':>4}  {'singleton%':>10}"
+    )
+    results = []
+    for num_links in (2, 3, 4, 5, 6, 7):
+        row = evaluate_footprint(num_links)
+        results.append(row)
+        print(
+            f"{row['links']:>5}  {row['configs']:>7}  {row['ases']:>5}  "
+            f"{row['mean']:>6.2f}  {row['p90']:>5.1f}  {row['max']:>4}  "
+            f"{row['singletons']:>9.0%}"
+        )
+
+    print()
+    best = results[-1]
+    worst = results[0]
+    print(
+        f"Going from {worst['links']} to {best['links']} links shrinks the "
+        f"mean cluster from {worst['mean']:.1f} to {best['mean']:.1f} ASes — "
+        "the paper's conclusion: any network with a large peering footprint "
+        "can localize spoofers precisely; small footprints cannot."
+    )
+
+
+if __name__ == "__main__":
+    main()

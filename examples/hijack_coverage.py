@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Prefix-hijack scenario studies from anycast configurations (paper §VI).
+
+Each configuration announcing from n locations covers 2ⁿ same-prefix
+hijack scenarios: any subset of the announcing links can be read as "the
+hijacker's announcements" and the measured catchments directly give the
+fraction of the Internet the hijacker captures.  This example quantifies
+hijack impact for every partition of the full-anycast configuration and
+shows how capture depends on the hijacker's topological position.
+
+Run:  python examples/hijack_coverage.py
+"""
+
+from repro.bgp.announcement import anycast_all
+from repro.core.hijack import hijack_coverage_report
+from repro.core.pipeline import build_testbed
+from repro.topology import TopologyParams
+
+
+def main() -> None:
+    testbed = build_testbed(
+        seed=17,
+        topology_params=TopologyParams(
+            num_tier1=6, num_transit=60, num_stub=300, seed=17
+        ),
+        num_links=5,
+    )
+    config = anycast_all(testbed.origin.link_ids)
+    outcome = testbed.simulator.simulate(config)
+    print(
+        f"anycast from {len(config.announced)} links covers "
+        f"2^{len(config.announced)} = {2 ** len(config.announced)} hijack scenarios"
+    )
+    print("catchment sizes:")
+    for link, members in sorted(outcome.catchments.items()):
+        provider = testbed.origin.provider_of(link)
+        print(f"  {link:<12} (via AS{provider}): {len(members):>4} ASes")
+
+    report = hijack_coverage_report(outcome)
+    print(f"\n{len(report)} non-degenerate scenarios, by hijacker capture:")
+    print(f"{'hijacker links':<40} {'captured':>8} {'fraction':>9}")
+    for impact in report[:8]:
+        links = "+".join(sorted(impact.scenario.hijacker_links))
+        print(
+            f"{links:<40} {impact.ases_captured:>8} "
+            f"{impact.capture_fraction:>8.1%}"
+        )
+    print("  ...")
+    for impact in report[-3:]:
+        links = "+".join(sorted(impact.scenario.hijacker_links))
+        print(
+            f"{links:<40} {impact.ases_captured:>8} "
+            f"{impact.capture_fraction:>8.1%}"
+        )
+
+    single = [
+        impact
+        for impact in report
+        if len(impact.scenario.hijacker_links) == 1
+    ]
+    strongest = single[0]
+    weakest = single[-1]
+    print(
+        f"\nA single-site hijacker captures between "
+        f"{weakest.capture_fraction:.0%} and {strongest.capture_fraction:.0%} "
+        "of the Internet depending on which peering link it announces from —"
+        "\nexactly the propagation question the paper proposes studying with "
+        "this dataset (subprefix hijacks, by contrast, always capture 100%)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Measuring catchments with feeds and traceroutes (paper §IV).
+
+The previous examples read catchments off the routing simulator (ground
+truth).  A real deployment has to *measure* them from public BGP feeds and
+RIPE-Atlas-style traceroutes — with unresponsive hops, IXP addresses,
+IP-to-AS errors, conflicting observations, and sources that vanish under
+some configurations.  This example runs the full measurement pipeline and
+quantifies each artifact the paper's §IV machinery handles.
+
+Run:  python examples/measured_catchments.py
+"""
+
+from repro.core.pipeline import SpoofTracker, build_testbed
+from repro.measurement.catchment import CatchmentHistory
+from repro.measurement.traceroute import TracerouteParams
+from repro.topology import TopologyParams
+
+
+def main() -> None:
+    testbed = build_testbed(
+        seed=31,
+        topology_params=TopologyParams(
+            num_tier1=6, num_transit=60, num_stub=300, seed=31
+        ),
+        num_vantages=20,
+        num_probes=80,
+        # Harsher measurement conditions than the defaults, to surface
+        # the conflicting observations §IV-c is built to resolve.
+        traceroute_params=TracerouteParams(
+            unresponsive_rate=0.15,
+            border_sharing_rate=0.35,
+            path_error_rate=0.05,
+            truncation_rate=0.05,
+            divergence_rate=0.15,
+            seed=31,
+        ),
+    )
+    tracker = SpoofTracker.from_testbed(testbed)
+    configs = tracker.schedule[:15]
+
+    print(f"measuring {len(configs)} configurations with "
+          f"{len(testbed.collectors.vantages)} BGP vantages and "
+          f"{len(testbed.fleet.probe_ases)} probes...\n")
+
+    outcomes = [testbed.simulator.simulate(config) for config in configs]
+    measurements = [testbed.campaign.measure(outcome) for outcome in outcomes]
+
+    # ------------------------------------------------------------------
+    # Coverage and conflict statistics (paper §IV-c).
+    # ------------------------------------------------------------------
+    first = measurements[0]
+    print("[1] anycast-all measurement (defines the analysis universe):")
+    print(f"    BGP paths used       : {first.bgp_paths_observed}")
+    print(f"    traceroutes used     : {first.traceroutes_observed}")
+    print(f"    sources observed     : {first.stats.sources_observed}")
+    print(
+        f"    multi-catchment rate : {first.stats.multi_catchment_fraction:.2%} "
+        "(paper: 2.28% on average)"
+    )
+
+    # Accuracy against the simulator's ground truth.
+    truth = outcomes[0]
+    agree = sum(
+        1
+        for source, link in first.assignment.items()
+        if truth.catchment_of(source) == link
+    )
+    print(f"    agreement with truth : {agree / len(first.assignment):.1%}")
+
+    # ------------------------------------------------------------------
+    # Visibility and smax imputation (paper §IV-d).
+    # ------------------------------------------------------------------
+    universe = frozenset(first.assignment)
+    history = CatchmentHistory(universe)
+    for measurement in measurements:
+        history.add(measurement.assignment)
+    missing = history.missing_sources()
+    total_missing = sum(len(sources) for sources in missing.values())
+    print("\n[2] source visibility across configurations:")
+    print(f"    universe size        : {len(universe)} sources")
+    print(
+        f"    missing observations : {total_missing} across "
+        f"{len(missing)} configurations"
+    )
+    imputed = history.imputed_assignments()
+    observed = len(universe) * len(measurements) - total_missing
+    filled = sum(len(assignment) for assignment in imputed) - observed
+    print(f"    imputed via smax     : {filled} assignments recovered")
+
+    # ------------------------------------------------------------------
+    # End-to-end: measured vs ground-truth clustering.
+    # ------------------------------------------------------------------
+    print("\n[3] clustering on measured vs ground-truth catchments:")
+    measured_report = tracker.run(max_configs=len(configs), measured=True)
+    truth_report = tracker.run(max_configs=len(configs))
+    print(
+        f"    ground truth : {len(truth_report.universe)} sources → "
+        f"mean cluster {truth_report.mean_cluster_size:.2f} ASes"
+    )
+    print(
+        f"    measured     : {len(measured_report.universe)} sources → "
+        f"mean cluster {measured_report.mean_cluster_size:.2f} ASes"
+    )
+    print(
+        "    measured coverage is limited by vantage/probe placement — the "
+        "paper's dataset covered 1,885 ASes with 1,600 probes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""From localization to mitigation: RTBH vs flowspec (paper §I).
+
+The paper's closing motivation: localization output can "drive automatic
+DoS mitigation systems that use, e.g., BGP communities to trigger remote
+traffic blackholing or BGP flowspec to configure traffic filters".  This
+example quantifies the trade-off:
+
+* **RTBH** stops the attack instantly but drops *everything* — the attack
+  succeeds by proxy.
+* **Flowspec filters scoped by localization** drop only traffic from the
+  suspect clusters; their collateral damage shrinks as more announcement
+  configurations sharpen the clusters.
+
+Run:  python examples/mitigation_pipeline.py
+"""
+
+import random
+
+from repro.core.pipeline import SpoofTracker, build_testbed
+from repro.mitigation import (
+    BlackholeRule,
+    evaluate_mitigation,
+    rules_from_localization,
+)
+from repro.spoof import pareto_placement
+from repro.topology import TopologyParams
+
+
+def main() -> None:
+    testbed = build_testbed(
+        seed=23,
+        topology_params=TopologyParams(
+            num_tier1=6, num_transit=60, num_stub=300, seed=23
+        ),
+    )
+    tracker = SpoofTracker.from_testbed(testbed)
+    placement = pareto_placement(
+        sorted(testbed.topology.stubs), 25, random.Random(11)
+    )
+    print(
+        f"attack: {placement.total_sources} sources across "
+        f"{len(placement.spoofing_ases)} ASes (Pareto 80/20)"
+    )
+
+    print("\nRTBH baseline (victim prefix blackholed upstream):")
+    report = tracker.run(max_configs=1, placement=placement)
+    rtbh = evaluate_mitigation(
+        [BlackholeRule()], placement, report.catchment_history[0]
+    )
+    print(
+        f"  attack dropped {rtbh.attack_volume_dropped:.0%}, "
+        f"legitimate dropped {rtbh.legitimate_volume_dropped:.0%} "
+        f"(selectivity {rtbh.selectivity:+.2f})"
+    )
+
+    print("\nflowspec scoped by localization, by announcement budget:")
+    print(f"{'configs':>8}  {'rules':>5}  {'ASes filtered':>13}  "
+          f"{'attack dropped':>14}  {'collateral':>10}  {'selectivity':>11}")
+    for budget in (4, 16, 64, 150):
+        report = tracker.run(max_configs=budget, placement=placement)
+        rules = rules_from_localization(
+            report.localization,
+            volume_fraction=0.99,
+            catchments=report.catchment_history[0],
+        )
+        evaluation = evaluate_mitigation(
+            rules, placement, report.catchment_history[0]
+        )
+        print(
+            f"{budget:>8}  {evaluation.rules_installed:>5}  "
+            f"{evaluation.ases_filtered:>13}  "
+            f"{evaluation.attack_volume_dropped:>13.0%}  "
+            f"{evaluation.legitimate_volume_dropped:>9.0%}  "
+            f"{evaluation.selectivity:>+11.2f}"
+        )
+
+    print(
+        "\nMore configurations → smaller clusters → fewer innocent ASes "
+        "caught in the filters, while the dropped attack volume stays "
+        "complete. RTBH's selectivity is zero by construction."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Reusing the dataset for routing-policy research (paper §VI, Figure 9).
+
+The announcement schedule deterministically forces route changes across
+the whole Internet, so the resulting path dataset supports policy studies
+beyond spoofing localization.  This example:
+
+1. audits each configuration for best-relationship / Gao-Rexford
+   compliance (Figure 9),
+2. evaluates a Gao-Rexford *catchment predictor* against the noisy ground
+   truth — the paper's proposed shortcut to skip pre-measuring every
+   configuration (§V-C),
+3. counts how many distinct routes each source was observed on (the
+   paper guarantees ≥ r+1 routes when removing up to r links).
+
+Run:  python examples/policy_inference.py
+"""
+
+
+from repro.analysis.stats import mean, percentile
+from repro.core.pipeline import SpoofTracker, build_testbed
+from repro.core.prediction import CatchmentPredictor, policy_compliance
+from repro.topology import TopologyParams
+
+
+def main() -> None:
+    testbed = build_testbed(
+        seed=21,
+        topology_params=TopologyParams(
+            num_tier1=6, num_transit=60, num_stub=300, seed=21
+        ),
+        policy_noise=0.08,
+    )
+    tracker = SpoofTracker.from_testbed(testbed)
+    configs = tracker.schedule[:150]
+    print(f"simulating {len(configs)} configurations...")
+    outcomes = [testbed.simulator.simulate(config) for config in configs]
+
+    # ------------------------------------------------------------------
+    # 1. Policy compliance per configuration (Figure 9).
+    # ------------------------------------------------------------------
+    best_rel, both = [], []
+    for outcome in outcomes:
+        stats = policy_compliance(
+            outcome, testbed.graph, testbed.policy, testbed.origin
+        )
+        best_rel.append(stats.best_relationship)
+        both.append(stats.best_relationship_and_shortest)
+    print("\n[1] policy compliance across configurations:")
+    print(
+        f"    best relationship        median {percentile(best_rel, 50):.1%}  "
+        f"(p10 {percentile(best_rel, 10):.1%})"
+    )
+    print(
+        f"    + shortest (Gao-Rexford) median {percentile(both, 50):.1%}  "
+        f"(p10 {percentile(both, 10):.1%})"
+    )
+
+    # ------------------------------------------------------------------
+    # 2. Catchment prediction accuracy (noise-free GR model vs reality).
+    # ------------------------------------------------------------------
+    predictor = CatchmentPredictor(testbed.graph, testbed.origin)
+    accuracies = []
+    for config, outcome in zip(configs[:40], outcomes[:40]):
+        predicted = predictor.predict(config)
+        accuracies.append(
+            CatchmentPredictor.accuracy(predicted, outcome).fraction_correct
+        )
+    print("\n[2] Gao-Rexford catchment predictor vs noisy ground truth:")
+    print(
+        f"    mean accuracy {mean(accuracies):.1%}, "
+        f"worst configuration {min(accuracies):.1%}"
+    )
+    print(
+        "    → accurate enough to pre-rank configurations and skip "
+        "measuring the unpromising ones (paper §V-C)."
+    )
+
+    # ------------------------------------------------------------------
+    # 3. Route diversity: distinct routes observed per source.
+    # ------------------------------------------------------------------
+    from repro.data import PathDataset
+
+    dataset = PathDataset.from_outcomes(outcomes)
+    diversity = list(dataset.route_diversity().values())
+    print("\n[3] route diversity uncovered by the schedule:")
+    print(f"    mean distinct forwarding paths per source: {mean(diversity):.2f}")
+    print(
+        f"    sources with >= 4 distinct routes: "
+        f"{sum(1 for d in diversity if d >= 4) / len(diversity):.0%} "
+        "(schedule guarantee: removing up to 3 links discovers >= 4 routes)"
+    )
+    print(f"    route changes across the dataset: {dataset.route_changes()}")
+    discovered = dataset.discovered_links(baseline_phases=("locations",))
+    print(
+        f"    AS links exposed only by prepending/poisoning: {len(discovered)} "
+        "(the paper: poisoning 'may discover new links')"
+    )
+
+
+if __name__ == "__main__":
+    main()

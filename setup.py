@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+All project metadata lives in pyproject.toml; this file exists only so pip
+can perform a legacy editable install in offline environments that lack
+the `wheel` package (required for PEP 660 editable wheels).
+"""
+
+from setuptools import setup
+
+setup()

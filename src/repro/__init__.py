@@ -1,0 +1,65 @@
+"""repro — control-plane traceback of spoofed IP traffic.
+
+Reproduction of Fonseca et al., *Tracking Down Sources of Spoofed IP
+Packets* (IFIP Networking / CoNEXT 2019): a network with multiple peering
+links systematically varies BGP announcement configurations (anycast
+location subsets, AS-path prepending, BGP poisoning) to reshape per-link
+catchments, then intersects catchments across configurations to partition
+the Internet into small clusters and attribute observed spoofed traffic
+to them.
+
+Quickstart::
+
+    from repro import build_testbed, SpoofTracker
+
+    testbed = build_testbed(seed=1)
+    tracker = SpoofTracker.from_testbed(testbed)
+    report = tracker.run(max_configs=100)
+    print(report.summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-figure reproductions.
+"""
+
+from .bgp import AnnouncementConfig, PolicyModel, RoutingOutcome, RoutingSimulator, anycast_all
+from .topology import (
+    ASGraph,
+    GeneratedTopology,
+    OriginNetwork,
+    Relationship,
+    TopologyParams,
+    attach_origin,
+    generate_topology,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ASGraph",
+    "Relationship",
+    "TopologyParams",
+    "GeneratedTopology",
+    "generate_topology",
+    "OriginNetwork",
+    "attach_origin",
+    "AnnouncementConfig",
+    "anycast_all",
+    "PolicyModel",
+    "RoutingSimulator",
+    "RoutingOutcome",
+    "build_testbed",
+    "Testbed",
+    "SpoofTracker",
+    "TrackerReport",
+]
+
+
+def __getattr__(name):
+    # Late imports keep `import repro` cheap and avoid import cycles while
+    # the high-level pipeline pulls in every subsystem.
+    if name in ("build_testbed", "Testbed", "SpoofTracker", "TrackerReport"):
+        from . import core
+
+        return getattr(core, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,157 @@
+"""Terminal plotting for figure results.
+
+The paper's figures are log-log CCDFs and step curves; rendering them as
+character rasters makes `spooftrack figures --plot` self-contained (no
+matplotlib offline).  The plotter supports linear and log axes, multiple
+series (one glyph each), and axis tick labels.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .figures import FigureResult, Series
+
+#: Glyphs assigned to series, in order.
+SERIES_GLYPHS = "ox+*#@%&"
+
+
+@dataclass(frozen=True)
+class PlotOptions:
+    """Rendering options for :func:`plot_figure`.
+
+    Attributes:
+        width / height: raster size in characters (plot area).
+        log_x / log_y: logarithmic axes (requires positive data).
+    """
+
+    width: int = 64
+    height: int = 18
+    log_x: bool = False
+    log_y: bool = False
+
+    def __post_init__(self) -> None:
+        if self.width < 8 or self.height < 4:
+            raise ValueError("plot area too small")
+
+
+def _transform(value: float, log: bool) -> float:
+    if not log:
+        return value
+    if value <= 0:
+        raise ValueError(f"log axis requires positive values, got {value}")
+    return math.log10(value)
+
+
+def _axis_range(values: Sequence[float]) -> Tuple[float, float]:
+    low, high = min(values), max(values)
+    if low == high:
+        pad = abs(low) * 0.5 or 0.5
+        return low - pad, high + pad
+    return low, high
+
+
+def plot_series(
+    series_list: Sequence[Series], options: Optional[PlotOptions] = None
+) -> str:
+    """Render series onto a character raster with axes.
+
+    Raises:
+        ValueError: with no series, empty series, or non-positive data on
+            a log axis.
+    """
+    options = options or PlotOptions()
+    if not series_list:
+        raise ValueError("nothing to plot")
+    xs: List[float] = []
+    ys: List[float] = []
+    for series in series_list:
+        if not series.points:
+            raise ValueError(f"series {series.name!r} has no points")
+        for x, y in series.points:
+            xs.append(_transform(x, options.log_x))
+            ys.append(_transform(y, options.log_y))
+    x_low, x_high = _axis_range(xs)
+    y_low, y_high = _axis_range(ys)
+
+    grid = [[" "] * options.width for _ in range(options.height)]
+
+    def place(x: float, y: float, glyph: str) -> None:
+        col = round((x - x_low) / (x_high - x_low) * (options.width - 1))
+        row = round((y - y_low) / (y_high - y_low) * (options.height - 1))
+        grid[options.height - 1 - row][col] = glyph
+
+    for index, series in enumerate(series_list):
+        glyph = SERIES_GLYPHS[index % len(SERIES_GLYPHS)]
+        for x, y in series.points:
+            place(
+                _transform(x, options.log_x),
+                _transform(y, options.log_y),
+                glyph,
+            )
+
+    def tick(value: float, log: bool) -> str:
+        real = 10**value if log else value
+        if abs(real) >= 1000 or (0 < abs(real) < 0.01):
+            return f"{real:.1e}"
+        return f"{real:.2f}".rstrip("0").rstrip(".")
+
+    lines: List[str] = []
+    top_label = tick(y_high, options.log_y)
+    bottom_label = tick(y_low, options.log_y)
+    label_width = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label
+        elif row_index == options.height - 1:
+            label = bottom_label
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |{''.join(row)}")
+    lines.append(f"{'':>{label_width}} +{'-' * options.width}")
+    left = tick(x_low, options.log_x)
+    right = tick(x_high, options.log_x)
+    gap = options.width - len(left) - len(right)
+    lines.append(f"{'':>{label_width}}  {left}{' ' * max(1, gap)}{right}")
+
+    legend = "   ".join(
+        f"{SERIES_GLYPHS[index % len(SERIES_GLYPHS)]} {series.name}"
+        for index, series in enumerate(series_list)
+    )
+    lines.append(f"{'':>{label_width}}  {legend}")
+    return "\n".join(lines)
+
+
+#: Per-figure default axis scales, mirroring the paper's plots.
+FIGURE_AXES = {
+    "figure3": PlotOptions(log_x=True, log_y=True),
+    "figure4": PlotOptions(log_x=True, log_y=True),
+    "figure5": PlotOptions(log_x=True, log_y=True),
+    "figure6": PlotOptions(log_x=True, log_y=True),
+    "figure7": PlotOptions(),
+    "figure8": PlotOptions(log_x=True, log_y=True),
+    "figure9": PlotOptions(),
+    "figure10": PlotOptions(),
+}
+
+
+def plot_figure(result: FigureResult, options: Optional[PlotOptions] = None) -> str:
+    """Render a figure result with its paper-matching axes.
+
+    Series whose data violates a log axis (zero fractions on CCDF tails
+    are filtered point-wise rather than failing the whole plot).
+    """
+    options = options or FIGURE_AXES.get(result.figure_id, PlotOptions())
+    usable: List[Series] = []
+    for series in result.series:
+        points = tuple(
+            (x, y)
+            for x, y in series.points
+            if (not options.log_x or x > 0) and (not options.log_y or y > 0)
+        )
+        if points:
+            usable.append(Series(series.name, points))
+    header = f"{result.title}  [{result.xlabel} vs {result.ylabel}]"
+    return header + "\n" + plot_series(usable, options)

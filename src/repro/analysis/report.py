@@ -1,0 +1,66 @@
+"""Text rendering of figure results (series tables, sampled points).
+
+The benchmark harness and CLI print figures as aligned text: every series
+name, a sample of its points, and the shape notes comparing against the
+paper's reported values.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .figures import FigureResult, Series
+
+
+def _sample_points(
+    points: Sequence[Tuple[float, float]], max_points: int
+) -> List[Tuple[float, float]]:
+    """Evenly sample at most ``max_points`` points, keeping the endpoints."""
+    if len(points) <= max_points:
+        return list(points)
+    step = (len(points) - 1) / (max_points - 1)
+    indices = sorted({round(i * step) for i in range(max_points)})
+    return [points[index] for index in indices]
+
+
+def render_series(series: Series, max_points: int = 10) -> str:
+    """One line per sampled point: ``name  x=..  y=..``."""
+    lines = [f"  {series.name}:"]
+    for x, y in _sample_points(series.points, max_points):
+        lines.append(f"    x={x:10.2f}  y={y:10.4f}")
+    return "\n".join(lines)
+
+
+def render_figure(result: FigureResult, max_points: int = 10) -> str:
+    """Full text rendering of a figure result."""
+    lines = [
+        f"=== {result.figure_id}: {result.title} ===",
+        f"    x: {result.xlabel}   y: {result.ylabel}",
+    ]
+    for series in result.series:
+        lines.append(render_series(series, max_points))
+    if result.notes:
+        lines.append("  notes:")
+        for note in result.notes:
+            lines.append(f"    - {note}")
+    return "\n".join(lines)
+
+
+def figure_markdown(result: FigureResult, max_points: int = 8) -> str:
+    """Markdown rendering used when regenerating EXPERIMENTS.md."""
+    lines = [
+        f"### {result.figure_id} — {result.title}",
+        "",
+        f"*x: {result.xlabel}; y: {result.ylabel}*",
+        "",
+    ]
+    for series in result.series:
+        sampled = _sample_points(series.points, max_points)
+        cells = ", ".join(f"({x:g}, {y:.3g})" for x, y in sampled)
+        lines.append(f"- **{series.name}**: {cells}")
+    if result.notes:
+        lines.append("")
+        for note in result.notes:
+            lines.append(f"> {note}")
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Table reproductions: Table I (PoPs/providers) and Table II (traceback).
+
+Table I in the paper lists the PEERING muxes and transit providers used in
+the experiments; :func:`table1` renders the equivalent for a testbed
+(paper mux names, synthetic provider ASNs).  Table II is the qualitative
+comparison of IP-traceback approaches, including the paper's own row; it
+is a fixed taxonomy reproduced verbatim by :func:`table2`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core.pipeline import Testbed
+
+
+@dataclass(frozen=True)
+class Table:
+    """A rendered table: headers plus rows of strings."""
+
+    table_id: str
+    title: str
+    headers: Sequence[str]
+    rows: Sequence[Sequence[str]]
+
+    def render(self) -> str:
+        """ASCII rendering with aligned columns."""
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.title]
+        header_line = "  ".join(
+            header.ljust(widths[index]) for index, header in enumerate(self.headers)
+        )
+        lines.append(header_line)
+        lines.append("  ".join("-" * width for width in widths))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+
+def table1(testbed: Testbed) -> Table:
+    """PoPs and providers of the testbed (paper Table I equivalent)."""
+    rows: List[List[str]] = []
+    graph = testbed.graph
+    for link in testbed.origin.links:
+        rows.append(
+            [
+                link.link_id,
+                f"{link.provider_name or 'Provider'} (AS{link.provider})",
+                str(graph.degree(link.provider)),
+            ]
+        )
+    return Table(
+        table_id="table1",
+        title="Table I: PoPs and providers used in the experiments",
+        headers=("Mux", "Transit Provider", "Provider degree"),
+        rows=rows,
+    )
+
+
+#: Paper Table II, verbatim: the qualitative comparison of IP-traceback
+#: proposals.  Columns: approach, what it manipulates, cooperation needed,
+#: router updates, overhead, identification precision, identification delay.
+TABLE2_ROWS = (
+    ("Manual", "Logs/monitoring", "Required", "No", "No", "Path prefix", "Long"),
+    ("Flooding", "Packet loss", "Required", "No", "High", "Path prefix", "Moderate"),
+    ("Marking", "IP ID field", "Deployment", "Yes", "Low", "Closest router", "~ sampling"),
+    ("Out-of-band", "—", "Deployment", "Yes", "High", "Closest router", "~ sampling"),
+    ("Digest-Based", "Local state at router", "Deployment", "Yes", "High", "Closest router", "Low"),
+    ("Routing (this paper)", "Routes", "No", "No", "No", "AS", "Long"),
+)
+
+
+def table2() -> Table:
+    """Summary of proposals for IP traceback (paper Table II)."""
+    return Table(
+        table_id="table2",
+        title="Table II: Summary of proposals for IP traceback",
+        headers=(
+            "Approach",
+            "Manipulates",
+            "Cooperation from networks",
+            "Router updates",
+            "Overhead",
+            "Identification precision",
+            "Identification delay",
+        ),
+        rows=TABLE2_ROWS,
+    )

@@ -1,0 +1,172 @@
+"""Announcement configurations ⟨A; P; Q⟩ (paper §III).
+
+A configuration describes how the origin announces one IP prefix:
+
+* ``A`` — the set of peering links announcing the prefix,
+* ``P ⊆ A`` — the links announcing with AS-path prepending,
+* ``Q`` — a mapping from links in ``A`` to the set of ASes poisoned on
+  that link's announcement.
+
+The paper prepends the origin ASN four extra times ("longer than most
+AS-paths in the Internet") and surrounds each poisoned ASN with the
+origin's own ASN, as PEERING requires; both behaviours are reproduced in
+:meth:`AnnouncementConfig.as_path_for_link`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from ..errors import AnnouncementError
+from ..types import ASN, ASPath, LinkId
+
+#: Number of extra times the origin prepends its own ASN (paper §III-A-b).
+DEFAULT_PREPEND_COUNT = 4
+
+
+def _freeze_poisons(
+    poisoned: Optional[Mapping[LinkId, Iterable[ASN]]]
+) -> Dict[LinkId, FrozenSet[ASN]]:
+    if not poisoned:
+        return {}
+    return {
+        link: frozenset(ases)
+        for link, ases in poisoned.items()
+        if ases
+    }
+
+
+@dataclass(frozen=True)
+class AnnouncementConfig:
+    """One announcement configuration ⟨A; P; Q⟩.
+
+    Attributes:
+        announced: links announcing the prefix (``A``).  Must be non-empty.
+        prepended: links announcing with prepending (``P ⊆ A``).
+        poisoned: per-link poisoned AS sets (``Q``; keys ⊆ ``A``).
+        no_export: per-link sets of the provider's neighbors the provider
+            is asked not to export the route to, via action communities
+            (RFC 1998-style "do not announce to AS x").  This is the
+            paper's §VIII extension: like poisoning it severs specific
+            provider links, but it does not rely on the target's loop
+            prevention and is not caught by tier-1 route-leak filters.
+        prepend_count: extra copies of the origin ASN on prepended links.
+        label: optional human-readable name (e.g. ``"locations:6/7"``).
+        phase: generation phase tag (``"locations"``, ``"prepending"``,
+            ``"poisoning"``, ``"communities"``) used by the evaluation to
+            split results.
+    """
+
+    announced: FrozenSet[LinkId]
+    prepended: FrozenSet[LinkId] = frozenset()
+    poisoned: Mapping[LinkId, FrozenSet[ASN]] = field(default_factory=dict)
+    no_export: Mapping[LinkId, FrozenSet[ASN]] = field(default_factory=dict)
+    prepend_count: int = DEFAULT_PREPEND_COUNT
+    label: str = ""
+    phase: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "announced", frozenset(self.announced))
+        object.__setattr__(self, "prepended", frozenset(self.prepended))
+        object.__setattr__(self, "poisoned", _freeze_poisons(self.poisoned))
+        object.__setattr__(self, "no_export", _freeze_poisons(self.no_export))
+        if not self.announced:
+            raise AnnouncementError("configuration must announce from at least one link")
+        if not self.prepended <= self.announced:
+            extra = sorted(self.prepended - self.announced)
+            raise AnnouncementError(f"prepending from unannounced links: {extra}")
+        if not set(self.poisoned) <= self.announced:
+            extra = sorted(set(self.poisoned) - self.announced)
+            raise AnnouncementError(f"poisoning via unannounced links: {extra}")
+        if not set(self.no_export) <= self.announced:
+            extra = sorted(set(self.no_export) - self.announced)
+            raise AnnouncementError(f"no-export communities on unannounced links: {extra}")
+        if self.prepend_count < 1:
+            raise AnnouncementError("prepend_count must be at least 1")
+
+    # ------------------------------------------------------------------
+
+    def poisons_for_link(self, link: LinkId) -> FrozenSet[ASN]:
+        """ASes poisoned on the announcement through ``link``."""
+        return self.poisoned.get(link, frozenset())
+
+    def no_export_for_link(self, link: LinkId) -> FrozenSet[ASN]:
+        """Provider neighbors blocked by community on ``link``'s announcement."""
+        return self.no_export.get(link, frozenset())
+
+    @property
+    def uses_communities(self) -> bool:
+        """True if any link carries a no-export action community."""
+        return bool(self.no_export)
+
+    def as_path_for_link(self, origin_asn: ASN, link: LinkId) -> ASPath:
+        """AS-path the origin announces through ``link``.
+
+        The path starts with the origin ASN (repeated when prepending) and
+        surrounds each poisoned ASN with the origin's ASN, matching
+        PEERING's required poisoning format (``o u o``).
+
+        Raises:
+            AnnouncementError: if ``link`` is not in the announcement set.
+        """
+        if link not in self.announced:
+            raise AnnouncementError(f"link {link!r} not announced in this configuration")
+        copies = 1 + (self.prepend_count if link in self.prepended else 0)
+        path = [origin_asn] * copies
+        for poisoned_asn in sorted(self.poisons_for_link(link)):
+            if poisoned_asn == origin_asn:
+                continue  # poisoning yourself is a no-op, not extra stuffing
+            path.extend((poisoned_asn, origin_asn))
+        return tuple(path)
+
+    @property
+    def uses_prepending(self) -> bool:
+        """True if any link announces with prepending."""
+        return bool(self.prepended)
+
+    @property
+    def uses_poisoning(self) -> bool:
+        """True if any link poisons at least one AS."""
+        return bool(self.poisoned)
+
+    def key(self) -> Tuple:
+        """Canonical hashable identity (ignores label/phase metadata)."""
+        return (
+            tuple(sorted(self.announced)),
+            tuple(sorted(self.prepended)),
+            tuple(sorted((link, tuple(sorted(ases))) for link, ases in self.poisoned.items())),
+            tuple(sorted((link, tuple(sorted(ases))) for link, ases in self.no_export.items())),
+            self.prepend_count,
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        parts = [f"A={{{','.join(sorted(self.announced))}}}"]
+        if self.prepended:
+            parts.append(f"P={{{','.join(sorted(self.prepended))}}}x{self.prepend_count}")
+        if self.poisoned:
+            poisons = ";".join(
+                f"{link}:{','.join(str(a) for a in sorted(ases))}"
+                for link, ases in sorted(self.poisoned.items())
+            )
+            parts.append(f"Q={{{poisons}}}")
+        if self.no_export:
+            blocked = ";".join(
+                f"{link}:{','.join(str(a) for a in sorted(ases))}"
+                for link, ases in sorted(self.no_export.items())
+            )
+            parts.append(f"C={{{blocked}}}")
+        text = " ".join(parts)
+        return f"{self.label or 'config'} {text}"
+
+
+def anycast_all(links: Iterable[LinkId], label: str = "anycast-all") -> AnnouncementConfig:
+    """Convenience: announce from every link, no prepending, no poisoning.
+
+    This is the paper's baseline configuration — the first deployed, and
+    the one defining which sources are eligible for analysis (§IV-d).
+    """
+    return AnnouncementConfig(
+        announced=frozenset(links), label=label, phase="locations"
+    )

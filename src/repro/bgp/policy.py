@@ -1,0 +1,181 @@
+"""Import/export policies: Gao-Rexford with realistic deviations.
+
+The policy model answers three questions for the simulator:
+
+* **LocalPref** — what preference does AS ``v`` give a route learned from
+  a neighbor with a given relationship?  By default the Gao-Rexford
+  ordering (customer 300 > peer 200 > provider 100).  A configurable
+  fraction of ASes deviates (``policy_noise``), standing in for the
+  ASes the paper observes violating the best-relationship criterion
+  (Figure 9).
+* **Import filtering** — loop prevention (rejecting paths containing the
+  AS's own number, which is what BGP poisoning exploits), optionally
+  disabled at a small fraction of ASes (§III-A-c notes some ASes disable
+  it for traffic engineering); and tier-1 route-leak filtering (a tier-1
+  rejects customer routes whose path contains another tier-1), which is
+  why poisoning tier-1s tends to fail.
+* **Export filtering** — the valley-free rule
+  (:func:`repro.topology.relationships.export_allowed`).
+
+All randomness derives from per-AS seeded PRNGs, so a
+:class:`PolicyModel` is fully reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Dict, FrozenSet, Mapping, Optional, Set, Tuple
+
+from ..topology.graph import ASGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from ..topology.geography import GeographyModel
+from ..topology.relationships import Relationship, export_allowed
+from ..types import ASN, ASPath
+
+#: Deviant LocalPref tables a "noisy" AS may use instead of Gao-Rexford.
+#: Each maps relationship → LocalPref.  They are drawn from behaviours
+#: observed in routing-policy studies: flat preference (decides on path
+#: length), peer-preferred, and provider-preferred (e.g. backup-transit
+#: arrangements).
+_DEVIANT_TABLES: Tuple[Mapping[Relationship, int], ...] = (
+    {Relationship.CUSTOMER: 200, Relationship.PEER: 200, Relationship.PROVIDER: 200},
+    {Relationship.CUSTOMER: 200, Relationship.PEER: 300, Relationship.PROVIDER: 100},
+    {Relationship.CUSTOMER: 300, Relationship.PEER: 100, Relationship.PROVIDER: 200},
+)
+
+_GAO_REXFORD_TABLE: Mapping[Relationship, int] = {
+    Relationship.CUSTOMER: Relationship.CUSTOMER.local_preference,
+    Relationship.PEER: Relationship.PEER.local_preference,
+    Relationship.PROVIDER: Relationship.PROVIDER.local_preference,
+}
+
+
+class PolicyModel:
+    """Routing policies for every AS in a topology.
+
+    Args:
+        graph: the topology the policies apply to.
+        seed: PRNG seed; drives which ASes deviate and how.
+        policy_noise: fraction of ASes using a deviant LocalPref table.
+        loop_prevention_disabled_fraction: fraction of ASes that do not
+            reject paths containing their own ASN (poisoning-immune).
+        tier1_leak_filtering: whether tier-1s filter customer routes whose
+            AS-path contains another tier-1.
+        tiebreak_salt: salt for deterministic decision tiebreaks.
+    """
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        seed: int = 0,
+        policy_noise: float = 0.05,
+        loop_prevention_disabled_fraction: float = 0.02,
+        tier1_leak_filtering: bool = True,
+        tiebreak_salt: Optional[int] = None,
+        geography: Optional["GeographyModel"] = None,
+    ) -> None:
+        if not 0.0 <= policy_noise <= 1.0:
+            raise ValueError("policy_noise must be in [0, 1]")
+        if not 0.0 <= loop_prevention_disabled_fraction <= 1.0:
+            raise ValueError("loop_prevention_disabled_fraction must be in [0, 1]")
+        self.graph = graph
+        self.seed = seed
+        self.tiebreak_salt = seed if tiebreak_salt is None else tiebreak_salt
+        self.tier1_leak_filtering = tier1_leak_filtering
+        self.geography = geography
+        self._tier1: FrozenSet[ASN] = graph.tier1_ases()
+        self._pref_tables: Dict[ASN, Mapping[Relationship, int]] = {}
+        self._loop_prevention_disabled: Set[ASN] = set()
+
+        rng = random.Random(seed)
+        for asn in sorted(graph.ases):
+            if rng.random() < policy_noise:
+                table = _DEVIANT_TABLES[rng.randrange(len(_DEVIANT_TABLES))]
+            else:
+                table = _GAO_REXFORD_TABLE
+            self._pref_tables[asn] = table
+            if rng.random() < loop_prevention_disabled_fraction:
+                self._loop_prevention_disabled.add(asn)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def tier1_ases(self) -> FrozenSet[ASN]:
+        """Tier-1 ASes as derived from the topology."""
+        return self._tier1
+
+    def local_pref(self, holder: ASN, relationship: Relationship) -> int:
+        """LocalPref ``holder`` assigns to routes learned under ``relationship``."""
+        return self._pref_tables[holder][relationship]
+
+    def follows_gao_rexford(self, asn: ASN) -> bool:
+        """True if ``asn`` uses the standard customer>peer>provider table."""
+        return self._pref_tables[asn] is _GAO_REXFORD_TABLE
+
+    def loop_prevention_enabled(self, asn: ASN) -> bool:
+        """True unless ``asn`` is in the loop-prevention-disabled set."""
+        return asn not in self._loop_prevention_disabled
+
+    def salt_for(self, holder: ASN) -> int:
+        """Tiebreak salt used for ``holder``'s decisions.
+
+        The base model uses one global salt; subclasses (e.g. the route
+        drift model in :mod:`repro.core.staleness`) vary it per AS to
+        emulate re-resolved router state.
+        """
+        return self.tiebreak_salt
+
+    def igp_cost(self, holder: ASN, neighbor: ASN) -> int:
+        """Hot-potato tiebreak cost: geographic distance to the neighbor.
+
+        Zero without a geography model (decisions then fall through to the
+        stable pseudo-random tiebreak, as before).  This is the BGP
+        decision step the paper notes the origin cannot manipulate.
+        """
+        if self.geography is None:
+            return 0
+        return self.geography.distance(holder, neighbor)
+
+    # ------------------------------------------------------------------
+
+    def accepts(
+        self,
+        holder: ASN,
+        transit_path: ASPath,
+        origin_path: ASPath,
+        learned_from_relationship: Relationship,
+    ) -> bool:
+        """Import filter: would ``holder`` accept this route?
+
+        The AS-path is split into the *transit* portion (ASes that actually
+        propagated the route) and the *origin* portion (the path as
+        announced by the origin, including prepending repetitions and
+        poison stuffing).  A holder always rejects a path it genuinely
+        transited (a real forwarding loop); it rejects its own ASN in the
+        origin-announced portion — the poisoning mechanism — only when its
+        loop prevention is enabled.  Tier-1 route-leak filtering inspects
+        the full path.
+        """
+        if holder in transit_path:
+            return False
+        if holder in origin_path and self.loop_prevention_enabled(holder):
+            return False
+        if (
+            self.tier1_leak_filtering
+            and holder in self._tier1
+            and learned_from_relationship is Relationship.CUSTOMER
+        ):
+            for asn in transit_path:
+                if asn != holder and asn in self._tier1:
+                    return False
+            for asn in origin_path:
+                if asn != holder and asn in self._tier1:
+                    return False
+        return True
+
+    def exports(
+        self, learned_from: Relationship, export_to: Relationship
+    ) -> bool:
+        """Export filter: valley-free rule."""
+        return export_allowed(learned_from, export_to)

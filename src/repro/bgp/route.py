@@ -1,0 +1,90 @@
+"""BGP route objects and the best-path decision key.
+
+A :class:`Route` as held by some AS records the AS-path exactly as
+received (neighbor first, origin last, including prepending and poisoning
+stuffing), which peering link of the origin the route descends from, and
+the relationship class it was learned under.
+
+Best-path selection (paper §II) compares, in order:
+
+1. LocalPref (higher wins) — assigned by the holder's import policy,
+2. AS-path length (shorter wins),
+3. deterministic per-AS tiebreaks standing in for IGP cost / MED / age.
+
+The tiebreak must be *stable but arbitrary per (holder, neighbor) pair*:
+real routers break ties on internal state the origin cannot see, and the
+paper's prepending technique works precisely because prepending overrides
+those ties.  We use a salted CRC32 so runs are reproducible across
+processes (Python's ``hash`` is process-salted).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..topology.relationships import Relationship
+from ..types import ASN, ASPath, LinkId
+
+
+def stable_tiebreak(holder: ASN, neighbor: ASN, salt: int) -> int:
+    """Deterministic pseudo-random tiebreak value for a (holder, neighbor) pair."""
+    payload = f"{holder}|{neighbor}|{salt}".encode("ascii")
+    return zlib.crc32(payload)
+
+
+@dataclass(frozen=True)
+class Route:
+    """A route to the origin's prefix as held by one AS.
+
+    Attributes:
+        as_path: AS-path as received, neighbor-first and origin-last;
+            includes prepending repetitions and poisoning stuffing.
+        link_id: origin peering link this route was announced through.
+        learned_from: neighbor the route was learned from.
+        relationship: relationship of ``learned_from`` as seen by the
+            holder (drives LocalPref).
+        local_pref: LocalPref assigned at import time by the holder.
+    """
+
+    as_path: ASPath
+    link_id: LinkId
+    learned_from: ASN
+    relationship: Relationship
+    local_pref: int
+
+    @property
+    def path_length(self) -> int:
+        """AS-path length, the BGP metric (counts prepending repetitions)."""
+        return len(self.as_path)
+
+    def decision_key(self, holder: ASN, salt: int) -> Tuple[int, int, int, int, LinkId]:
+        """Sort key implementing the BGP decision process (lower is better)."""
+        return (
+            -self.local_pref,
+            self.path_length,
+            stable_tiebreak(holder, self.learned_from, salt),
+            self.learned_from,
+            self.link_id,
+        )
+
+    def extended_by(self, asn: ASN) -> ASPath:
+        """AS-path this route would carry when exported by ``asn``."""
+        return (asn,) + self.as_path
+
+    def contains_loop_for(self, asn: ASN) -> bool:
+        """True if ``asn`` appears in the AS-path (BGP loop prevention fires)."""
+        return asn in self.as_path
+
+
+def best_route(
+    holder: ASN, candidates: "list[Route]", salt: int
+) -> Optional[Route]:
+    """Select the best route among ``candidates`` for ``holder``.
+
+    Returns None when there are no candidates.
+    """
+    if not candidates:
+        return None
+    return min(candidates, key=lambda route: route.decision_key(holder, salt))

@@ -1,0 +1,307 @@
+"""BGP route propagation over an AS graph for one announcement configuration.
+
+The simulator computes, for every AS, the best route toward the origin's
+prefix under the configured announcement ⟨A; P; Q⟩, applying the decision
+process of §II (LocalPref → AS-path length → deterministic tiebreaks) and
+the import/export policies of :class:`repro.bgp.policy.PolicyModel`.
+
+Propagation is a Gauss-Seidel fixpoint iteration: ASes are visited in a
+fixed order, each re-selecting its best route from its neighbors' current
+selections, until a full pass changes nothing.  Under Gao-Rexford policies
+this converges in a number of passes proportional to the routing-system
+diameter; deviant-policy ASes can in principle oscillate, so the iteration
+is bounded and the outcome records whether a fixpoint was reached.
+
+The per-link *catchment* — the set of ASes whose best route descends from
+that peering link — falls directly out of the fixpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from ..errors import ConvergenceError, SimulationError
+from ..topology.graph import ASGraph
+from ..topology.peering import OriginNetwork
+from ..topology.relationships import Relationship
+from ..types import ASN, ASPath, LinkId
+from .announcement import AnnouncementConfig
+from .policy import PolicyModel
+from .route import Route, stable_tiebreak
+
+#: Default bound on Gauss-Seidel passes before declaring non-convergence.
+DEFAULT_MAX_PASSES = 60
+
+
+@dataclass
+class RoutingOutcome:
+    """Result of simulating one announcement configuration.
+
+    Attributes:
+        config: the configuration that was simulated.
+        routes: best route per AS (ASes with no route are absent).
+        catchments: per announced link, the set of ASes routed toward it.
+        passes: Gauss-Seidel passes executed.
+        decision_changes: total number of best-route changes observed.
+        converged: whether a full pass with no changes was reached.
+    """
+
+    config: AnnouncementConfig
+    routes: Dict[ASN, Route]
+    catchments: Dict[LinkId, FrozenSet[ASN]]
+    passes: int
+    decision_changes: int
+    converged: bool
+    origin_asn: ASN
+
+    def route(self, asn: ASN) -> Optional[Route]:
+        """Best route of ``asn``, or None if it has no route."""
+        return self.routes.get(asn)
+
+    def catchment_of(self, asn: ASN) -> Optional[LinkId]:
+        """Peering link whose catchment contains ``asn`` (None if unrouted)."""
+        route = self.routes.get(asn)
+        return route.link_id if route is not None else None
+
+    @property
+    def covered_ases(self) -> FrozenSet[ASN]:
+        """ASes holding a route toward the prefix."""
+        return frozenset(self.routes)
+
+    def forwarding_path(self, asn: ASN) -> ASPath:
+        """Data-plane AS path from ``asn`` to the origin.
+
+        Unlike the control-plane AS-path, this excludes prepending
+        repetitions and poison stuffing: it is the chain of ASes packets
+        actually traverse, ending at the origin.  Used by the traceroute
+        simulation.
+
+        Raises:
+            SimulationError: if ``asn`` holds no route or the next-hop
+                chain is broken (only possible on non-converged outcomes).
+        """
+        if asn == self.origin_asn:
+            return (asn,)
+        hops: List[ASN] = [asn]
+        current = asn
+        for _ in range(len(self.routes) + 2):
+            route = self.routes.get(current)
+            if route is None:
+                raise SimulationError(f"AS {current} holds no route toward the prefix")
+            next_hop = route.learned_from
+            hops.append(next_hop)
+            if next_hop == self.origin_asn:
+                return tuple(hops)
+            current = next_hop
+        raise SimulationError(f"forwarding loop detected starting at AS {asn}")
+
+
+class RoutingSimulator:
+    """Propagates announcement configurations over a topology.
+
+    Args:
+        graph: AS topology including the attached origin AS.
+        origin: the origin network whose links announce the prefix.
+        policy: routing policies; a default Gao-Rexford model is built
+            when omitted.
+        max_passes: bound on fixpoint iterations.
+        strict: when True, non-convergence raises
+            :class:`repro.errors.ConvergenceError`; when False the
+            (still well-defined) state at the bound is returned with
+            ``converged=False``.
+    """
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        origin: OriginNetwork,
+        policy: Optional[PolicyModel] = None,
+        max_passes: int = DEFAULT_MAX_PASSES,
+        strict: bool = False,
+    ) -> None:
+        for link in origin.links:
+            if not graph.has_link(origin.asn, link.provider):
+                raise SimulationError(
+                    f"origin {origin.asn} not linked to provider {link.provider} "
+                    f"of {link.link_id!r} in the topology"
+                )
+        if max_passes < 1:
+            raise SimulationError("max_passes must be positive")
+        self.graph = graph
+        self.origin = origin
+        self.policy = policy if policy is not None else PolicyModel(graph)
+        self.max_passes = max_passes
+        self.strict = strict
+        # Stable visit order: hierarchy-ish (providers of the origin first
+        # via BFS from the origin) so information flows outward quickly and
+        # convergence needs few passes.
+        distances = graph.hop_distances([origin.asn])
+        self._visit_order: List[ASN] = sorted(
+            (asn for asn in graph.ases if asn != origin.asn),
+            key=lambda asn: (distances.get(asn, len(graph)), asn),
+        )
+        self._neighbors: Dict[ASN, List[Tuple[ASN, Relationship]]] = {
+            asn: sorted(graph.neighbors(asn).items()) for asn in graph.ases
+        }
+
+    # ------------------------------------------------------------------
+
+    def simulate(self, config: AnnouncementConfig) -> RoutingOutcome:
+        """Propagate ``config`` to a fixpoint and return the outcome."""
+        self._validate_config(config)
+        origin_asn = self.origin.asn
+        announced_paths: Dict[LinkId, ASPath] = {
+            link: config.as_path_for_link(origin_asn, link)
+            for link in config.announced
+        }
+        providers_by_asn: Dict[ASN, LinkId] = {
+            self.origin.provider_of(link): link for link in config.announced
+        }
+        provider_by_link: Dict[LinkId, ASN] = {
+            link: provider for provider, link in providers_by_asn.items()
+        }
+
+        best: Dict[ASN, Route] = {}
+        decision_changes = 0
+        converged = False
+        passes = 0
+        while passes < self.max_passes:
+            passes += 1
+            changed = 0
+            for asn in self._visit_order:
+                new_route = self._select(
+                    asn, best, announced_paths, providers_by_asn,
+                    provider_by_link, config,
+                )
+                old_route = best.get(asn)
+                if new_route != old_route:
+                    changed += 1
+                    if new_route is None:
+                        del best[asn]
+                    else:
+                        best[asn] = new_route
+            decision_changes += changed
+            if changed == 0:
+                converged = True
+                break
+        if not converged and self.strict:
+            raise ConvergenceError(
+                f"no fixpoint after {self.max_passes} passes for {config.describe()}"
+            )
+
+        catchments: Dict[LinkId, set] = {link: set() for link in config.announced}
+        for asn, route in best.items():
+            catchments[route.link_id].add(asn)
+        return RoutingOutcome(
+            config=config,
+            routes=best,
+            catchments={link: frozenset(ases) for link, ases in catchments.items()},
+            passes=passes,
+            decision_changes=decision_changes,
+            converged=converged,
+            origin_asn=origin_asn,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _validate_config(self, config: AnnouncementConfig) -> None:
+        known = set(self.origin.link_ids)
+        unknown = set(config.announced) - known
+        if unknown:
+            raise SimulationError(
+                f"configuration announces from unknown links {sorted(unknown)}"
+            )
+
+    def _select(
+        self,
+        asn: ASN,
+        best: Mapping[ASN, Route],
+        announced_paths: Mapping[LinkId, ASPath],
+        providers_by_asn: Mapping[ASN, LinkId],
+        provider_by_link: Mapping[LinkId, ASN],
+        config: AnnouncementConfig,
+    ) -> Optional[Route]:
+        """Re-run the BGP decision process at ``asn``.
+
+        Candidate filtering (loop prevention, valley-free export, tier-1
+        leak filters, no-export action communities at the direct provider)
+        happens on the neighbor's stored path to avoid building AS-path
+        tuples for losing candidates; the full :class:`Route` is
+        materialized only for the winner.
+        """
+        policy = self.policy
+        origin_asn = self.origin.asn
+        salt = policy.salt_for(asn)
+        best_key = None
+        best_choice: Optional[Tuple[ASN, Relationship, Optional[Route], LinkId]] = None
+
+        direct_link = providers_by_asn.get(asn)
+        if direct_link is not None:
+            origin_path = announced_paths[direct_link]
+            relationship = self.graph.relationship(asn, origin_asn)
+            if policy.accepts(asn, (), origin_path, relationship):
+                local_pref = policy.local_pref(asn, relationship)
+                key = (
+                    -local_pref,
+                    len(origin_path),
+                    policy.igp_cost(asn, origin_asn),
+                    stable_tiebreak(asn, origin_asn, salt),
+                    origin_asn,
+                    direct_link,
+                )
+                best_key = key
+                best_choice = (origin_asn, relationship, None, direct_link)
+
+        for neighbor, relationship in self._neighbors[asn]:
+            if neighbor == origin_asn:
+                continue  # handled above via providers_by_asn
+            neighbor_route = best.get(neighbor)
+            if neighbor_route is None:
+                continue
+            if not policy.exports(
+                neighbor_route.relationship, self.graph.relationship(neighbor, asn)
+            ):
+                continue
+            # No-export action community: the direct provider honors the
+            # origin's request not to announce toward specific neighbors.
+            blocked = config.no_export_for_link(neighbor_route.link_id)
+            if (
+                blocked
+                and asn in blocked
+                and neighbor == provider_by_link[neighbor_route.link_id]
+            ):
+                continue
+            announced = announced_paths[neighbor_route.link_id]
+            stuffed_len = len(announced)
+            path = neighbor_route.as_path
+            transit = path[:-stuffed_len] if stuffed_len < len(path) else ()
+            if not policy.accepts(asn, transit, announced, relationship):
+                continue
+            local_pref = policy.local_pref(asn, relationship)
+            key = (
+                -local_pref,
+                len(path) + 1,
+                policy.igp_cost(asn, neighbor),
+                stable_tiebreak(asn, neighbor, salt),
+                neighbor,
+                neighbor_route.link_id,
+            )
+            if best_key is None or key < best_key:
+                best_key = key
+                best_choice = (neighbor, relationship, neighbor_route, neighbor_route.link_id)
+
+        if best_choice is None:
+            return None
+        learned_from, relationship, via_route, link_id = best_choice
+        if via_route is None:
+            as_path = announced_paths[link_id]
+        else:
+            as_path = (learned_from,) + via_route.as_path
+        return Route(
+            as_path=as_path,
+            link_id=link_id,
+            learned_from=learned_from,
+            relationship=relationship,
+            local_pref=policy.local_pref(asn, relationship),
+        )

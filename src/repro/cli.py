@@ -1,0 +1,275 @@
+"""Command-line front end: ``spooftrack`` (also ``python -m repro``).
+
+Subcommands:
+
+* ``figures`` — reproduce paper figures and print their data series.
+* ``tables`` — print Table I (testbed PoPs) and Table II (taxonomy).
+* ``track`` — run the end-to-end localization pipeline on a synthetic
+  attack and print the report.
+* ``experiments`` — regenerate the EXPERIMENTS.md body from a fresh run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from .analysis.figures import FIGURE_RUNNERS, EvaluationRun
+from .analysis.report import figure_markdown, render_figure
+from .analysis.tables import table1, table2
+from .core.pipeline import SpoofTracker, build_testbed
+from .spoof.sources import PLACEMENT_DISTRIBUTIONS, make_placement
+from .topology.generator import TopologyParams
+
+import random
+
+#: Topology scales selectable from the command line.
+SCALES = {
+    "small": TopologyParams(num_tier1=6, num_transit=60, num_stub=300),
+    "medium": TopologyParams(num_tier1=8, num_transit=120, num_stub=600),
+    "paper": TopologyParams(num_tier1=10, num_transit=220, num_stub=1600),
+}
+
+
+def _build_run(args: argparse.Namespace) -> EvaluationRun:
+    params = SCALES[args.scale]
+    params = TopologyParams(
+        num_tier1=params.num_tier1,
+        num_transit=params.num_transit,
+        num_stub=params.num_stub,
+        seed=args.seed,
+    )
+    testbed = build_testbed(seed=args.seed, topology_params=params)
+    return EvaluationRun(
+        testbed=testbed,
+        seed=args.seed,
+        max_configs=args.max_configs,
+        measured=getattr(args, "measured", False),
+    )
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    wanted = args.ids or sorted(FIGURE_RUNNERS)
+    unknown = [figure_id for figure_id in wanted if figure_id not in FIGURE_RUNNERS]
+    if unknown:
+        print(f"unknown figure ids: {unknown}; known: {sorted(FIGURE_RUNNERS)}")
+        return 2
+    start = time.time()
+    run = _build_run(args)
+    print(
+        f"# evaluation run: {len(run.schedule)} configurations over "
+        f"{len(run.universe)} ASes ({time.time() - start:.1f}s)",
+        file=sys.stderr,
+    )
+    for figure_id in wanted:
+        result = FIGURE_RUNNERS[figure_id](run)
+        print(render_figure(result))
+        if args.plot:
+            from .analysis.ascii_plot import plot_figure
+
+            print()
+            print(plot_figure(result))
+        print()
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    testbed = build_testbed(seed=args.seed, topology_params=SCALES[args.scale])
+    print(table1(testbed).render())
+    print()
+    print(table2().render())
+    return 0
+
+
+def _cmd_track(args: argparse.Namespace) -> int:
+    testbed = build_testbed(seed=args.seed, topology_params=SCALES[args.scale])
+    tracker = SpoofTracker(testbed)
+    rng = random.Random(args.seed + 1)
+    candidate_ases = sorted(testbed.topology.stubs or testbed.graph.ases)
+    placement = make_placement(
+        args.distribution, candidate_ases, args.sources, rng
+    )
+    report = tracker.run(
+        max_configs=args.max_configs,
+        placement=placement,
+        measured=args.measured,
+        split_threshold=args.split_threshold,
+    )
+    print(report.summary())
+    true_sources = ", ".join(str(asn) for asn in sorted(placement.spoofing_ases))
+    print(f"ground-truth source ASes: {true_sources}")
+    return 0
+
+
+def _cmd_headline(args: argparse.Namespace) -> int:
+    from .analysis.headline import headline_metrics, render_headline
+
+    run = _build_run(args)
+    print(render_headline(headline_metrics(run)))
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    from .data import Dataset, PathDataset
+
+    run = _build_run(args)
+    dataset = Dataset.from_catchment_history(
+        run.testbed.origin.link_ids,
+        run.schedule,
+        run.catchment_history,
+        meta={
+            "seed": args.seed,
+            "scale": args.scale,
+            "ases": len(run.testbed.graph),
+            "universe": len(run.universe),
+        },
+    )
+    dataset.save(args.output)
+    print(
+        f"wrote {args.output}: {len(dataset)} configurations over "
+        f"{len(dataset.sources())} sources"
+    )
+    if args.paths:
+        outcomes = (
+            run.testbed.simulator.simulate(config) for config in run.schedule
+        )
+        path_dataset = PathDataset.from_outcomes(outcomes)
+        path_dataset.save(args.paths)
+        diversity = path_dataset.route_diversity()
+        mean_diversity = sum(diversity.values()) / len(diversity)
+        print(
+            f"wrote {args.paths}: forwarding paths for {len(path_dataset)} "
+            f"configurations (mean {mean_diversity:.2f} routes/source)"
+        )
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    run = _build_run(args)
+    sections: List[str] = []
+    for figure_id in sorted(FIGURE_RUNNERS):
+        result = FIGURE_RUNNERS[figure_id](run)
+        sections.append(figure_markdown(result))
+    body = "\n".join(sections)
+    if args.output == "-":
+        print(body)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(body)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``spooftrack`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="spooftrack",
+        description=(
+            "Reproduction of 'Tracking Down Sources of Spoofed IP Packets': "
+            "BGP-steered localization of spoofed-traffic sources."
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0, help="global PRNG seed")
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="small",
+        help="synthetic Internet size",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    figures = subparsers.add_parser("figures", help="reproduce paper figures")
+    figures.add_argument("ids", nargs="*", help="figure ids (default: all)")
+    figures.add_argument(
+        "--max-configs", type=int, default=None, help="truncate the schedule"
+    )
+    figures.add_argument(
+        "--plot", action="store_true", help="also render ASCII plots"
+    )
+    figures.add_argument(
+        "--measured",
+        action="store_true",
+        help="use the full measurement pipeline instead of ground truth",
+    )
+    figures.set_defaults(func=_cmd_figures)
+
+    tables = subparsers.add_parser("tables", help="print Tables I and II")
+    tables.set_defaults(func=_cmd_tables)
+
+    track = subparsers.add_parser("track", help="run the localization pipeline")
+    track.add_argument(
+        "--distribution",
+        choices=PLACEMENT_DISTRIBUTIONS,
+        default="single",
+        help="spoofing-source placement",
+    )
+    track.add_argument("--sources", type=int, default=1, help="number of sources")
+    track.add_argument(
+        "--max-configs", type=int, default=None, help="truncate the schedule"
+    )
+    track.add_argument(
+        "--measured",
+        action="store_true",
+        help="measure catchments with feeds/traceroutes instead of ground truth",
+    )
+    track.add_argument(
+        "--split-threshold",
+        type=int,
+        default=None,
+        help="run the §V-B large-cluster splitter on clusters above this size",
+    )
+    track.set_defaults(func=_cmd_track)
+
+    headline = subparsers.add_parser(
+        "headline", help="paper-vs-reproduction headline metrics"
+    )
+    headline.add_argument(
+        "--max-configs", type=int, default=None, help="truncate the schedule"
+    )
+    headline.set_defaults(func=_cmd_headline)
+
+    dataset = subparsers.add_parser(
+        "dataset", help="export the measured catchment dataset as JSON (§VI)"
+    )
+    dataset.add_argument(
+        "--max-configs", type=int, default=None, help="truncate the schedule"
+    )
+    dataset.add_argument(
+        "--output", default="spoof-dataset.json", help="output JSON path"
+    )
+    dataset.add_argument(
+        "--paths",
+        default=None,
+        help="also export per-configuration forwarding paths (JSONL)",
+    )
+    dataset.set_defaults(func=_cmd_dataset)
+
+    experiments = subparsers.add_parser(
+        "experiments", help="regenerate EXPERIMENTS.md figure sections"
+    )
+    experiments.add_argument(
+        "--max-configs", type=int, default=None, help="truncate the schedule"
+    )
+    experiments.add_argument(
+        "--output", default="-", help="output path ('-' for stdout)"
+    )
+    experiments.add_argument(
+        "--measured",
+        action="store_true",
+        help="use the full measurement pipeline instead of ground truth",
+    )
+    experiments.set_defaults(func=_cmd_experiments)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``spooftrack`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

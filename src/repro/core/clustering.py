@@ -1,0 +1,169 @@
+"""Cluster refinement by catchment intersection (paper §III-B).
+
+A *cluster* is a set of sources that fell in the same catchment in every
+announcement configuration deployed so far.  Starting from one cluster
+holding every source, each observed catchment α splits any overlapping
+cluster κ into κ∩α and κ∖α.  Small clusters are the goal: they localize
+spoofed-traffic sources precisely enough for targeted intervention.
+
+:class:`ClusterState` implements the refinement incrementally so
+schedulers can interleave "deploy a configuration" and "inspect cluster
+sizes" (Figures 4, 5, 8 of the paper all need per-step sizes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Set
+
+from ..errors import ClusteringError
+from ..types import ASN, LinkId
+
+
+class ClusterState:
+    """Mutable partition of a fixed universe of sources.
+
+    Args:
+        universe: the sources to partition.  The paper fixes this to the
+            ASes observed under the initial anycast-all configuration
+            (§IV-d); sources outside the universe are ignored by
+            :meth:`refine`.
+    """
+
+    def __init__(self, universe: Iterable[ASN]) -> None:
+        members = set(universe)
+        if not members:
+            raise ClusteringError("cluster universe must be non-empty")
+        self._clusters: Dict[int, Set[ASN]] = {0: members}
+        self._cluster_of: Dict[ASN, int] = {asn: 0 for asn in members}
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    # Refinement
+    # ------------------------------------------------------------------
+
+    def refine(self, catchment: Iterable[ASN]) -> int:
+        """Split clusters against one catchment; return the number of splits.
+
+        For each cluster κ overlapping the catchment α, replace κ with
+        κ∩α and κ∖α (no-op when κ ⊆ α or κ∩α is empty).
+        """
+        inside = {asn for asn in catchment if asn in self._cluster_of}
+        if not inside:
+            return 0
+        affected: Dict[int, Set[ASN]] = {}
+        for asn in inside:
+            affected.setdefault(self._cluster_of[asn], set()).add(asn)
+        splits = 0
+        for cluster_id, overlap in affected.items():
+            cluster = self._clusters[cluster_id]
+            if len(overlap) == len(cluster):
+                continue  # κ ⊆ α: no information
+            cluster -= overlap
+            new_id = self._next_id
+            self._next_id += 1
+            self._clusters[new_id] = overlap
+            for asn in overlap:
+                self._cluster_of[asn] = new_id
+            splits += 1
+        return splits
+
+    def refine_with_catchments(
+        self, catchments: Mapping[LinkId, Iterable[ASN]]
+    ) -> int:
+        """Refine against every catchment of one configuration."""
+        splits = 0
+        for link in sorted(catchments):
+            splits += self.refine(catchments[link])
+        return splits
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def universe(self) -> FrozenSet[ASN]:
+        """The full set of partitioned sources."""
+        return frozenset(self._cluster_of)
+
+    def clusters(self) -> List[FrozenSet[ASN]]:
+        """Current clusters, largest first (ties broken by smallest member)."""
+        return sorted(
+            (frozenset(cluster) for cluster in self._clusters.values()),
+            key=lambda cluster: (-len(cluster), min(cluster)),
+        )
+
+    def cluster_of(self, asn: ASN) -> FrozenSet[ASN]:
+        """The cluster containing ``asn``.
+
+        Raises:
+            ClusteringError: if ``asn`` is not in the universe.
+        """
+        try:
+            cluster_id = self._cluster_of[asn]
+        except KeyError:
+            raise ClusteringError(f"AS {asn} not in cluster universe") from None
+        return frozenset(self._clusters[cluster_id])
+
+    def num_clusters(self) -> int:
+        """Number of clusters in the current partition."""
+        return len(self._clusters)
+
+    def sizes(self) -> List[int]:
+        """Cluster sizes in descending order."""
+        return sorted((len(c) for c in self._clusters.values()), reverse=True)
+
+    def mean_size(self) -> float:
+        """Mean cluster size (per cluster): |universe| / #clusters."""
+        return len(self._cluster_of) / len(self._clusters)
+
+    def mean_size_weighted(self) -> float:
+        """AS-weighted mean cluster size (the average AS's cluster size).
+
+        This is the metric behind the paper's Figure 7 phrasing "ASes ...
+        are in clusters with N ASes on average".
+        """
+        total = sum(len(c) ** 2 for c in self._clusters.values())
+        return total / len(self._cluster_of)
+
+    def size_percentile(self, percentile: float) -> float:
+        """Percentile of cluster sizes (linear interpolation, 0–100)."""
+        if not 0.0 <= percentile <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        ordered = sorted(len(c) for c in self._clusters.values())
+        if len(ordered) == 1:
+            return float(ordered[0])
+        rank = (percentile / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        if ordered[low] == ordered[high]:
+            return float(ordered[low])
+        fraction = rank - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+    def singleton_fraction(self) -> float:
+        """Fraction of clusters containing exactly one source."""
+        singles = sum(1 for c in self._clusters.values() if len(c) == 1)
+        return singles / len(self._clusters)
+
+    def copy(self) -> "ClusterState":
+        """Independent copy of the current partition."""
+        clone = ClusterState.__new__(ClusterState)
+        clone._clusters = {cid: set(c) for cid, c in self._clusters.items()}
+        clone._cluster_of = dict(self._cluster_of)
+        clone._next_id = self._next_id
+        return clone
+
+
+def clusters_from_catchment_history(
+    universe: Iterable[ASN],
+    history: Iterable[Mapping[LinkId, Iterable[ASN]]],
+) -> ClusterState:
+    """Build the final partition from a sequence of configuration catchments.
+
+    Convenience wrapper over :class:`ClusterState` used by the figure
+    runners when only the end state matters.
+    """
+    state = ClusterState(universe)
+    for catchments in history:
+        state.refine_with_catchments(catchments)
+    return state

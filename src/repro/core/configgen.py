@@ -1,0 +1,301 @@
+"""Systematic announcement-configuration generation (paper §III-A, §IV-a).
+
+Three techniques, deployed as three phases:
+
+1. **Locations** — announce from all links, then from every proper subset
+   in decreasing size order, removing up to ``max_removed`` links.
+   Removing up to r−1 links guarantees discovery of at least r routes per
+   source.  The paper uses 7 links and ``max_removed=3``:
+   Σₓ C(7, 7−x) for x in 0..3 = 64 configurations.
+2. **Prepending** — for each location configuration with announcement set
+   A, additional configurations prepending from subsets P ⊆ A in
+   increasing size order (the paper deploys |P| = 1, giving
+   Σₓ (7−x)·C(7, 7−x) = 294 more).
+3. **Poisoning** — for each neighbor u of each directly-connected transit
+   provider p, announce from all links while poisoning u on the
+   announcement through p (347 in the paper; the exact count depends on
+   the topology).
+
+The total for the paper's setup is 64 + 294 + 347 = 705 configurations;
+:func:`generate_schedule` reproduces exactly that structure for any origin
+network and topology.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from ..bgp.announcement import DEFAULT_PREPEND_COUNT, AnnouncementConfig
+from ..errors import SchedulingError
+from ..topology.graph import ASGraph
+from ..topology.peering import OriginNetwork
+from ..types import ASN, LinkId
+
+PHASE_LOCATIONS = "locations"
+PHASE_PREPENDING = "prepending"
+PHASE_POISONING = "poisoning"
+PHASE_COMMUNITIES = "communities"
+
+
+@dataclass(frozen=True)
+class ScheduleParams:
+    """Knobs for :func:`generate_schedule`.
+
+    Attributes:
+        max_removed: maximum number of links withdrawn in the locations
+            phase (paper: 3, discovering ≥4 routes per source).
+        max_prepend_size: maximum |P| in the prepending phase (paper: 1).
+        prepend_count: extra origin-ASN copies on prepended announcements
+            (paper: 4).
+        include_poisoning: whether to generate the poisoning phase.
+        include_communities: whether to append the §VIII no-export
+            community phase (off by default — it is the paper's proposed
+            extension, not part of the deployed 705-config schedule).
+        max_poison_targets: optional cap on poisoning targets per provider
+            (None = all neighbors, like the paper).
+    """
+
+    max_removed: int = 3
+    max_prepend_size: int = 1
+    prepend_count: int = DEFAULT_PREPEND_COUNT
+    include_poisoning: bool = True
+    include_communities: bool = False
+    max_poison_targets: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_removed < 0:
+            raise SchedulingError("max_removed must be non-negative")
+        if self.max_prepend_size < 0:
+            raise SchedulingError("max_prepend_size must be non-negative")
+        if self.prepend_count < 1:
+            raise SchedulingError("prepend_count must be at least 1")
+        if self.max_poison_targets is not None and self.max_poison_targets < 0:
+            raise SchedulingError("max_poison_targets must be non-negative")
+
+
+def location_configs(
+    links: Sequence[LinkId], max_removed: int = 3
+) -> List[AnnouncementConfig]:
+    """Phase 1: announcement-location subsets in decreasing size order.
+
+    Generates the full-anycast configuration first, then every subset of
+    size |L|−1, |L|−2, … down to |L|−``max_removed`` (never below one
+    link).  Within one size, subsets are ordered lexicographically for
+    determinism.
+    """
+    ordered = sorted(set(links))
+    if not ordered:
+        raise SchedulingError("origin has no peering links")
+    if len(ordered) != len(links):
+        raise SchedulingError(f"duplicate link ids in {list(links)!r}")
+    configs: List[AnnouncementConfig] = []
+    deepest = min(max_removed, len(ordered) - 1)
+    for removed in range(deepest + 1):
+        size = len(ordered) - removed
+        for subset in itertools.combinations(ordered, size):
+            configs.append(
+                AnnouncementConfig(
+                    announced=frozenset(subset),
+                    label=f"loc:{'+'.join(subset)}",
+                    phase=PHASE_LOCATIONS,
+                )
+            )
+    return configs
+
+
+def prepend_configs(
+    base_configs: Iterable[AnnouncementConfig],
+    max_prepend_size: int = 1,
+    prepend_count: int = DEFAULT_PREPEND_COUNT,
+) -> List[AnnouncementConfig]:
+    """Phase 2: prepending variants of each location configuration.
+
+    For each base configuration with announcement set A, yields one
+    configuration per non-empty subset P ⊆ A with |P| ≤
+    ``max_prepend_size``, in increasing |P| order (paper §III-A-b).
+    """
+    bases = list(base_configs)
+    configs: List[AnnouncementConfig] = []
+    for prepend_size in range(1, max_prepend_size + 1):
+        for base in bases:
+            announced = sorted(base.announced)
+            if prepend_size > len(announced):
+                continue
+            for prepend_subset in itertools.combinations(announced, prepend_size):
+                configs.append(
+                    AnnouncementConfig(
+                        announced=base.announced,
+                        prepended=frozenset(prepend_subset),
+                        prepend_count=prepend_count,
+                        label=f"prep:{'+'.join(prepend_subset)}@{'+'.join(announced)}",
+                        phase=PHASE_PREPENDING,
+                    )
+                )
+    return configs
+
+
+def provider_neighbor_targets(
+    origin: OriginNetwork,
+    graph: ASGraph,
+    max_per_provider: Optional[int] = None,
+) -> Dict[LinkId, List[ASN]]:
+    """Poisoning targets: neighbors of each directly-connected provider.
+
+    The paper's strategy (§III-A-c, Figure 2): poisoning an AS ``u``
+    adjacent to provider ``p`` severs the ``p–u`` link for the poisoned
+    announcement, forcing every source previously routed through it to
+    find an alternate path.  Links close to the origin carry the most
+    sources, so 1-hop-away targets maximize induced changes.
+
+    Targets exclude the origin itself and the origin's other providers
+    (poisoning a provider would just kill its own announcement).
+    """
+    excluded: Set[ASN] = {origin.asn}
+    excluded.update(link.provider for link in origin.links)
+    targets: Dict[LinkId, List[ASN]] = {}
+    for link in origin.links:
+        neighbors = sorted(
+            asn for asn in graph.neighbors(link.provider) if asn not in excluded
+        )
+        if max_per_provider is not None:
+            neighbors = neighbors[:max_per_provider]
+        targets[link.link_id] = neighbors
+    return targets
+
+
+def poison_configs(
+    origin: OriginNetwork,
+    graph: ASGraph,
+    max_per_provider: Optional[int] = None,
+) -> List[AnnouncementConfig]:
+    """Phase 3: one configuration per (provider link, neighbor) pair.
+
+    Each configuration announces from every link and poisons a single
+    neighbor of one provider on that provider's announcement, mirroring
+    the paper's 347 poisoning configurations.
+    """
+    all_links = frozenset(origin.link_ids)
+    targets = provider_neighbor_targets(origin, graph, max_per_provider)
+    configs: List[AnnouncementConfig] = []
+    for link_id in sorted(targets):
+        for target in targets[link_id]:
+            configs.append(
+                AnnouncementConfig(
+                    announced=all_links,
+                    poisoned={link_id: frozenset([target])},
+                    label=f"poison:{target}@{link_id}",
+                    phase=PHASE_POISONING,
+                )
+            )
+    return configs
+
+
+def community_configs(
+    origin: OriginNetwork,
+    graph: ASGraph,
+    max_per_provider: Optional[int] = None,
+) -> List[AnnouncementConfig]:
+    """§VIII extension: sever provider links with no-export communities.
+
+    Mirrors :func:`poison_configs` — one configuration per (provider
+    link, provider neighbor) pair — but severs the link via an RFC
+    1998-style action community ("do not announce to AS u") instead of
+    BGP poisoning.  Communities achieve the same catchment manipulation
+    without depending on the target's loop prevention and without
+    tripping tier-1 route-leak filters, at the cost of requiring the
+    provider to support such communities.
+    """
+    all_links = frozenset(origin.link_ids)
+    targets = provider_neighbor_targets(origin, graph, max_per_provider)
+    configs: List[AnnouncementConfig] = []
+    for link_id in sorted(targets):
+        for target in targets[link_id]:
+            configs.append(
+                AnnouncementConfig(
+                    announced=all_links,
+                    no_export={link_id: frozenset([target])},
+                    label=f"community:{target}@{link_id}",
+                    phase=PHASE_COMMUNITIES,
+                )
+            )
+    return configs
+
+
+def distant_poison_configs(
+    origin: OriginNetwork,
+    graph: ASGraph,
+    target_ases: Iterable[ASN],
+) -> List[AnnouncementConfig]:
+    """Targeted poisoning of distant ASes (paper §V-B future work).
+
+    Large clusters tend to sit far from the announcement locations; this
+    generates configurations poisoning the given (typically distant)
+    target ASes on *all* announcements, attempting to force route changes
+    specific to those regions.
+    """
+    all_links = frozenset(origin.link_ids)
+    excluded = {origin.asn} | {link.provider for link in origin.links}
+    configs: List[AnnouncementConfig] = []
+    for target in sorted(set(target_ases)):
+        if target in excluded or target not in graph:
+            continue
+        configs.append(
+            AnnouncementConfig(
+                announced=all_links,
+                poisoned={link: frozenset([target]) for link in all_links},
+                label=f"distant-poison:{target}",
+                phase=PHASE_POISONING,
+            )
+        )
+    return configs
+
+
+def generate_schedule(
+    origin: OriginNetwork,
+    graph: ASGraph,
+    params: Optional[ScheduleParams] = None,
+) -> List[AnnouncementConfig]:
+    """Full three-phase schedule (paper §IV-a).
+
+    Returns the locations phase, then the prepending phase, then (when
+    enabled) the poisoning phase, in the paper's deployment order.
+    """
+    params = params or ScheduleParams()
+    locations = location_configs(origin.link_ids, params.max_removed)
+    prepends = prepend_configs(
+        locations, params.max_prepend_size, params.prepend_count
+    )
+    schedule = locations + prepends
+    if params.include_poisoning:
+        schedule.extend(poison_configs(origin, graph, params.max_poison_targets))
+    if params.include_communities:
+        schedule.extend(community_configs(origin, graph, params.max_poison_targets))
+    return schedule
+
+
+def expected_location_count(num_links: int, max_removed: int) -> int:
+    """Closed-form size of the locations phase (paper's Σ C(L, L−x))."""
+    deepest = min(max_removed, num_links - 1)
+    return sum(
+        _binomial(num_links, num_links - removed) for removed in range(deepest + 1)
+    )
+
+
+def expected_prepend_count(num_links: int, max_removed: int) -> int:
+    """Closed-form size of the |P|=1 prepending phase (Σ (L−x)·C(L, L−x))."""
+    deepest = min(max_removed, num_links - 1)
+    return sum(
+        (num_links - removed) * _binomial(num_links, num_links - removed)
+        for removed in range(deepest + 1)
+    )
+
+
+def _binomial(n: int, k: int) -> int:
+    if k < 0 or k > n:
+        return 0
+    result = 1
+    for i in range(min(k, n - k)):
+        result = result * (n - i) // (i + 1)
+    return result

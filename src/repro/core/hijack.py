@@ -1,0 +1,106 @@
+"""Prefix-hijack scenario coverage (paper §VI).
+
+A configuration announcing a prefix from n locations doubles as 2ⁿ hijack
+experiments: partition the announcing links into "legitimate" and
+"hijacker" sets, and the measured catchments immediately tell you which
+fraction of the Internet the hijacker would capture.  The paper highlights
+this reuse for studying same-prefix-length hijack propagation (the
+interesting case — subprefix hijacks trivially win by longest-prefix
+match).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, List, Mapping
+
+from ..bgp.announcement import AnnouncementConfig
+from ..bgp.simulator import RoutingOutcome
+from ..types import Catchment, LinkId
+
+
+@dataclass(frozen=True)
+class HijackScenario:
+    """One way of reading a configuration as a hijack experiment.
+
+    Attributes:
+        legitimate_links: links treated as the true origin's announcements.
+        hijacker_links: links treated as the hijacker's announcements.
+    """
+
+    legitimate_links: FrozenSet[LinkId]
+    hijacker_links: FrozenSet[LinkId]
+
+    @property
+    def is_degenerate(self) -> bool:
+        """True when one side announces nothing (no contest)."""
+        return not self.legitimate_links or not self.hijacker_links
+
+
+def hijack_scenarios(config: AnnouncementConfig) -> Iterator[HijackScenario]:
+    """All 2ⁿ (legitimate, hijacker) partitions of a configuration's links."""
+    links = sorted(config.announced)
+    for size in range(len(links) + 1):
+        for hijacker_subset in itertools.combinations(links, size):
+            hijackers = frozenset(hijacker_subset)
+            yield HijackScenario(
+                legitimate_links=config.announced - hijackers,
+                hijacker_links=hijackers,
+            )
+
+
+@dataclass(frozen=True)
+class HijackImpact:
+    """Impact of one hijack scenario under measured catchments.
+
+    Attributes:
+        scenario: the partition evaluated.
+        ases_captured: ASes whose traffic the hijacker attracts.
+        ases_total: ASes covered by the configuration.
+    """
+
+    scenario: HijackScenario
+    ases_captured: int
+    ases_total: int
+
+    @property
+    def capture_fraction(self) -> float:
+        """Fraction of covered ASes the hijacker captures."""
+        return self.ases_captured / self.ases_total if self.ases_total else 0.0
+
+
+def hijack_impact(
+    catchments: Mapping[LinkId, Catchment], scenario: HijackScenario
+) -> HijackImpact:
+    """Evaluate a scenario against one configuration's catchments."""
+    captured = sum(
+        len(catchments.get(link, frozenset()))
+        for link in scenario.hijacker_links
+    )
+    total = sum(len(members) for members in catchments.values())
+    return HijackImpact(
+        scenario=scenario, ases_captured=captured, ases_total=total
+    )
+
+
+def hijack_coverage_report(
+    outcome: RoutingOutcome, include_degenerate: bool = False
+) -> List[HijackImpact]:
+    """Impacts of every scenario of the outcome's configuration.
+
+    Sorted by descending capture fraction; degenerate (empty-side)
+    scenarios are skipped by default.
+    """
+    impacts = [
+        hijack_impact(outcome.catchments, scenario)
+        for scenario in hijack_scenarios(outcome.config)
+        if include_degenerate or not scenario.is_degenerate
+    ]
+    impacts.sort(
+        key=lambda impact: (
+            -impact.capture_fraction,
+            sorted(impact.scenario.hijacker_links),
+        )
+    )
+    return impacts

@@ -1,0 +1,364 @@
+"""End-to-end orchestration: build a testbed, run the paper's pipeline.
+
+:func:`build_testbed` assembles every substrate (topology, origin, policy,
+simulator, address plan, IXPs, feeds, probe fleet) from a single seed.
+:class:`SpoofTracker` then runs the paper's workflow over it:
+
+1. generate the three-phase announcement schedule (§III-A/§IV-a),
+2. simulate (and optionally *measure*, via feeds + traceroutes) each
+   configuration's catchments,
+3. refine clusters across configurations (§III-B),
+4. attribute observed spoofed volumes to clusters (§III-C / §V-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .refinement import SplitReport
+
+from ..bgp.announcement import AnnouncementConfig
+from ..bgp.policy import PolicyModel
+from ..bgp.simulator import RoutingOutcome, RoutingSimulator
+from ..errors import ReproError
+from ..measurement.atlas import AtlasProbeFleet, select_probe_ases
+from ..measurement.campaign import MeasurementCampaign
+from ..measurement.catchment import CatchmentHistory
+from ..measurement.collectors import BGPCollectorSet, select_vantages
+from ..measurement.ip2as import AddressPlan, IPToASMapper
+from ..measurement.ixp import IXPRegistry, synthesize_ixps
+from ..measurement.traceroute import TracerouteEngine, TracerouteParams
+from ..spoof.sources import SourcePlacement
+from ..spoof.traffic import link_volumes
+from ..topology.generator import GeneratedTopology, TopologyParams, generate_topology
+from ..topology.graph import ASGraph
+from ..topology.peering import OriginNetwork, attach_origin
+from ..types import ASN, Catchment, LinkId
+from .clustering import ClusterState
+from .configgen import ScheduleParams, generate_schedule
+from .localization import LocalizationResult, SpoofLocalizer
+
+
+@dataclass
+class Testbed:
+    """Every substrate needed to reproduce the paper's experiments."""
+
+    topology: GeneratedTopology
+    origin: OriginNetwork
+    policy: PolicyModel
+    simulator: RoutingSimulator
+    plan: AddressPlan
+    ixps: IXPRegistry
+    mapper: IPToASMapper
+    collectors: BGPCollectorSet
+    fleet: AtlasProbeFleet
+    campaign: MeasurementCampaign
+
+    @property
+    def graph(self) -> ASGraph:
+        """The AS topology graph (origin attached)."""
+        return self.topology.graph
+
+
+def build_testbed(
+    seed: int = 0,
+    topology_params: Optional[TopologyParams] = None,
+    num_links: int = 7,
+    policy_noise: float = 0.05,
+    loop_prevention_disabled_fraction: float = 0.02,
+    num_vantages: int = 25,
+    num_probes: int = 120,
+    traceroute_params: Optional[TracerouteParams] = None,
+    rounds_per_config: int = 3,
+    with_geography: bool = False,
+) -> Testbed:
+    """Build a fully wired testbed from one seed.
+
+    Defaults give a PEERING-scale setup: 7 peering links, collector and
+    probe coverage proportional to the paper's (all public feeds, 1,600
+    Atlas probes over a ~70k-AS Internet ≈ a few percent of ASes).
+
+    With ``with_geography=True`` every AS is assigned a region and ties
+    between equally-preferred routes resolve hot-potato (toward the
+    geographically closest neighbor) instead of by arbitrary router state.
+    """
+    params = topology_params or TopologyParams(seed=seed)
+    if params.seed != seed:
+        params = TopologyParams(
+            num_tier1=params.num_tier1,
+            num_transit=params.num_transit,
+            num_stub=params.num_stub,
+            transit_provider_choices=params.transit_provider_choices,
+            stub_provider_choices=params.stub_provider_choices,
+            transit_peering_probability=params.transit_peering_probability,
+            stub_multihome_fraction=params.stub_multihome_fraction,
+            seed=seed,
+        )
+    topology = generate_topology(params)
+    origin = attach_origin(topology, num_links=num_links, seed=seed)
+    graph = topology.graph
+    geography = None
+    if with_geography:
+        from ..topology.geography import GeographyModel
+
+        geography = GeographyModel.random(graph.ases, seed=seed)
+    policy = PolicyModel(
+        graph,
+        seed=seed,
+        policy_noise=policy_noise,
+        loop_prevention_disabled_fraction=loop_prevention_disabled_fraction,
+        geography=geography,
+    )
+    simulator = RoutingSimulator(graph, origin, policy)
+    plan = AddressPlan(graph.ases, origin.asn)
+    ixps = synthesize_ixps(graph, seed=seed)
+    mapper = IPToASMapper(plan, ixps.prefixes())
+    engine = TracerouteEngine(
+        graph,
+        plan,
+        ixps,
+        traceroute_params or TracerouteParams(seed=seed),
+    )
+    vantages = select_vantages(graph, num_vantages, seed=seed, exclude=[origin.asn])
+    collectors = BGPCollectorSet(vantages, origin)
+    probe_ases = select_probe_ases(graph, num_probes, seed=seed + 1, exclude=[origin.asn])
+    fleet = AtlasProbeFleet(probe_ases, engine, rounds_per_config=rounds_per_config)
+    campaign = MeasurementCampaign(origin, collectors, fleet, mapper)
+    return Testbed(
+        topology=topology,
+        origin=origin,
+        policy=policy,
+        simulator=simulator,
+        plan=plan,
+        ixps=ixps,
+        mapper=mapper,
+        collectors=collectors,
+        fleet=fleet,
+        campaign=campaign,
+    )
+
+
+@dataclass(frozen=True)
+class StepStats:
+    """Cluster statistics after deploying one configuration."""
+
+    config_label: str
+    phase: str
+    num_clusters: int
+    mean_cluster_size: float
+    p90_cluster_size: float
+
+
+@dataclass
+class TrackerReport:
+    """Everything :meth:`SpoofTracker.run` produced.
+
+    Attributes:
+        universe: sources analyzed (observed under the first anycast).
+        steps: per-configuration cluster statistics.
+        clusters: final partition, largest cluster first.
+        catchment_history: per-configuration catchment maps used for
+            clustering (measured+imputed in measured mode, ground truth
+            otherwise).
+        localization: volume attribution (when a placement was given).
+        placement: the ground-truth placement (when given).
+        measured: whether catchments came from feeds/traceroutes.
+    """
+
+    universe: FrozenSet[ASN]
+    steps: List[StepStats]
+    clusters: List[FrozenSet[ASN]]
+    catchment_history: List[Dict[LinkId, Catchment]]
+    localization: Optional[LocalizationResult] = None
+    placement: Optional[SourcePlacement] = None
+    measured: bool = False
+    split_report: Optional["SplitReport"] = None
+
+    @property
+    def mean_cluster_size(self) -> float:
+        """Final mean cluster size (paper headline: 1.40 ASes)."""
+        return len(self.universe) / len(self.clusters)
+
+    @property
+    def singleton_cluster_fraction(self) -> float:
+        """Final fraction of single-AS clusters (paper headline: 92%)."""
+        singles = sum(1 for cluster in self.clusters if len(cluster) == 1)
+        return singles / len(self.clusters)
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"configurations deployed : {len(self.steps)}",
+            f"sources analyzed        : {len(self.universe)} ASes"
+            + (" (measured catchments)" if self.measured else " (ground truth)"),
+            f"final clusters          : {len(self.clusters)}",
+            f"mean cluster size       : {self.mean_cluster_size:.2f} ASes",
+            f"singleton clusters      : {self.singleton_cluster_fraction:.0%}",
+        ]
+        if self.localization is not None:
+            top = self.localization.top(3)
+            lines.append("most-suspect clusters   :")
+            for cluster in top:
+                members = ", ".join(str(asn) for asn in sorted(cluster.members)[:6])
+                suffix = ", …" if cluster.size > 6 else ""
+                lines.append(
+                    f"  volume={cluster.estimated_volume:8.3f}"
+                    f"  size={cluster.size:3d}  [{members}{suffix}]"
+                )
+            if self.placement is not None:
+                quality = self.localization.evaluate_against(self.placement)
+                lines.append(
+                    f"localization quality    : recall={quality.recall:.0%} "
+                    f"precision={quality.precision:.0%} "
+                    f"({quality.sources_found}/{quality.true_sources} sources in "
+                    f"{quality.suspect_set_size} suspect ASes)"
+                )
+        return "\n".join(lines)
+
+
+class SpoofTracker:
+    """The paper's system: schedule, measure, cluster, attribute.
+
+    Args:
+        testbed: a wired testbed from :func:`build_testbed`.
+        schedule_params: announcement-generation knobs (§IV-a defaults).
+    """
+
+    def __init__(
+        self, testbed: Testbed, schedule_params: Optional[ScheduleParams] = None
+    ) -> None:
+        self.testbed = testbed
+        self.schedule_params = schedule_params or ScheduleParams()
+        self.schedule: List[AnnouncementConfig] = generate_schedule(
+            testbed.origin, testbed.graph, self.schedule_params
+        )
+
+    @classmethod
+    def from_testbed(
+        cls, testbed: Testbed, schedule_params: Optional[ScheduleParams] = None
+    ) -> "SpoofTracker":
+        """Alias constructor used throughout the examples."""
+        return cls(testbed, schedule_params)
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        max_configs: Optional[int] = None,
+        placement: Optional[SourcePlacement] = None,
+        measured: bool = False,
+        split_threshold: Optional[int] = None,
+        split_budget: int = 30,
+    ) -> TrackerReport:
+        """Deploy the schedule and build the report.
+
+        Args:
+            max_configs: deploy only the first N configurations (the full
+                paper schedule is 705 and takes a while on big topologies).
+            placement: ground-truth spoofing sources; when given, per-link
+                volumes are observed every configuration and attributed to
+                the final clusters.
+            measured: measure catchments with feeds and traceroutes
+                (slower, noisy) instead of reading them off the simulator.
+            split_threshold: when set (and not in measured mode), run the
+                §V-B large-cluster splitter afterwards, deploying targeted
+                distant-poison configurations against clusters larger
+                than the threshold.
+            split_budget: extra configurations the splitter may deploy.
+        """
+        limit = len(self.schedule) if max_configs is None else max_configs
+        configs = self.schedule[:limit]
+        if not configs:
+            raise ReproError("empty schedule")
+
+        simulator = self.testbed.simulator
+        origin = self.testbed.origin
+        outcomes: List[RoutingOutcome] = [
+            simulator.simulate(config) for config in configs
+        ]
+
+        if measured:
+            first = self.testbed.campaign.measure(outcomes[0])
+            universe = frozenset(first.assignment)
+            history = CatchmentHistory(universe)
+            history.add(first.assignment)
+            for outcome in outcomes[1:]:
+                history.add(self.testbed.campaign.measure(outcome).assignment)
+            catchment_history = history.catchment_maps(origin.link_ids)
+        else:
+            universe = outcomes[0].covered_ases
+            catchment_history = [
+                {
+                    link: frozenset(members & universe)
+                    for link, members in outcome.catchments.items()
+                }
+                for outcome in outcomes
+            ]
+
+        state = ClusterState(universe)
+        steps: List[StepStats] = []
+        for config, catchments in zip(configs, catchment_history):
+            state.refine_with_catchments(catchments)
+            steps.append(
+                StepStats(
+                    config_label=config.label or config.describe(),
+                    phase=config.phase,
+                    num_clusters=state.num_clusters(),
+                    mean_cluster_size=state.mean_size(),
+                    p90_cluster_size=state.size_percentile(90.0),
+                )
+            )
+        split_report = None
+        if split_threshold is not None and not measured:
+            from .refinement import LargeClusterSplitter
+
+            splitter = LargeClusterSplitter(
+                simulator, origin, threshold=split_threshold
+            )
+            split_report = splitter.split(state, max_configs=split_budget)
+            for config, extra in zip(
+                split_report.configs_deployed, split_report.catchment_history
+            ):
+                catchment_history.append(
+                    {
+                        link: frozenset(members & universe)
+                        for link, members in extra.items()
+                    }
+                )
+                steps.append(
+                    StepStats(
+                        config_label=config.label or config.describe(),
+                        phase="split",
+                        num_clusters=state.num_clusters(),
+                        mean_cluster_size=state.mean_size(),
+                        p90_cluster_size=state.size_percentile(90.0),
+                    )
+                )
+        clusters = state.clusters()
+
+        localization = None
+        if placement is not None:
+            volume_history = [
+                link_volumes(placement, outcome.catchments)
+                for outcome in outcomes
+            ]
+            if split_report is not None:
+                volume_history.extend(
+                    link_volumes(placement, extra)
+                    for extra in split_report.catchment_history
+                )
+            localizer = SpoofLocalizer(clusters, catchment_history)
+            localization = localizer.localize(volume_history)
+
+        return TrackerReport(
+            universe=universe,
+            steps=steps,
+            clusters=clusters,
+            catchment_history=catchment_history,
+            localization=localization,
+            placement=placement,
+            measured=measured,
+            split_report=split_report,
+        )

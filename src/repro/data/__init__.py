@@ -1,0 +1,13 @@
+"""Dataset export/import for offline reanalysis (paper §VI)."""
+
+from .dataset import FORMAT_NAME, FORMAT_VERSION, ConfigRecord, Dataset
+from .paths import PathDataset, PathRecord
+
+__all__ = [
+    "Dataset",
+    "ConfigRecord",
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "PathDataset",
+    "PathRecord",
+]

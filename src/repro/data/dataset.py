@@ -1,0 +1,246 @@
+"""Dataset export/import (paper §VI: "our dataset ... publicly available").
+
+The paper releases its measurement dataset so others can study route
+diversity, routing policies, and hijack propagation without redeploying
+weeks of announcements.  This module provides the equivalent artifact: a
+versioned JSON container holding the deployed schedule and the per-
+configuration catchment assignments, loadable for offline reanalysis
+(clustering, scheduling, localization) without a simulator.
+
+Format (version 1)::
+
+    {
+      "format": "repro-spoof-dataset",
+      "version": 1,
+      "meta": {...},                       # free-form provenance
+      "links": ["AMS-IX", ...],
+      "configs": [
+        {
+          "label": "...", "phase": "locations",
+          "announced": [...], "prepended": [...],
+          "poisoned": {"link": [asn, ...]},
+          "no_export": {"link": [asn, ...]},
+          "prepend_count": 4,
+          "assignment": {"<source asn>": "<link>"}
+        }, ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, IO, List, Mapping, Optional, Sequence, Union
+
+from ..bgp.announcement import AnnouncementConfig
+from ..errors import DataFormatError
+from ..types import ASN, Catchment, LinkId
+
+FORMAT_NAME = "repro-spoof-dataset"
+FORMAT_VERSION = 1
+
+PathOrIO = Union[str, Path, IO[str]]
+
+
+@dataclass
+class ConfigRecord:
+    """One deployed configuration and its measured source→link assignment."""
+
+    config: AnnouncementConfig
+    assignment: Dict[ASN, LinkId]
+
+    def catchments(self, links: Sequence[LinkId]) -> Dict[LinkId, Catchment]:
+        """Invert the assignment into per-link catchment sets."""
+        catchments: Dict[LinkId, set] = {link: set() for link in links}
+        for source, link in self.assignment.items():
+            catchments.setdefault(link, set()).add(source)
+        return {link: frozenset(members) for link, members in catchments.items()}
+
+
+@dataclass
+class Dataset:
+    """A deployable-schedule + catchments dataset.
+
+    Attributes:
+        links: the origin's peering link ids.
+        records: one record per deployed configuration, in order.
+        meta: free-form provenance (seed, topology size, dates, ...).
+    """
+
+    links: List[LinkId]
+    records: List[ConfigRecord] = field(default_factory=list)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_history(
+        cls,
+        links: Sequence[LinkId],
+        configs: Sequence[AnnouncementConfig],
+        assignments: Sequence[Mapping[ASN, LinkId]],
+        meta: Optional[Mapping[str, object]] = None,
+    ) -> "Dataset":
+        """Build a dataset from parallel config/assignment sequences.
+
+        Raises:
+            DataFormatError: when lengths disagree.
+        """
+        if len(configs) != len(assignments):
+            raise DataFormatError(
+                f"{len(configs)} configs vs {len(assignments)} assignments"
+            )
+        records = [
+            ConfigRecord(config=config, assignment=dict(assignment))
+            for config, assignment in zip(configs, assignments)
+        ]
+        return cls(links=list(links), records=records, meta=dict(meta or {}))
+
+    @classmethod
+    def from_catchment_history(
+        cls,
+        links: Sequence[LinkId],
+        configs: Sequence[AnnouncementConfig],
+        catchment_history: Sequence[Mapping[LinkId, Catchment]],
+        meta: Optional[Mapping[str, object]] = None,
+    ) -> "Dataset":
+        """Build from per-link catchment maps instead of assignments."""
+        assignments: List[Dict[ASN, LinkId]] = []
+        for catchments in catchment_history:
+            assignment: Dict[ASN, LinkId] = {}
+            for link, members in catchments.items():
+                for source in members:
+                    assignment[source] = link
+            assignments.append(assignment)
+        return cls.from_history(links, configs, assignments, meta)
+
+    # ------------------------------------------------------------------
+    # Reanalysis accessors
+    # ------------------------------------------------------------------
+
+    def catchment_history(self) -> List[Dict[LinkId, Catchment]]:
+        """Per-configuration catchment maps (for clustering/scheduling).
+
+        Each map carries exactly the links announced by its configuration
+        (withdrawn links have no catchment), matching the shape produced
+        by live measurement.
+        """
+        return [
+            record.catchments(sorted(record.config.announced))
+            for record in self.records
+        ]
+
+    def configs(self) -> List[AnnouncementConfig]:
+        """The deployed configurations, in order."""
+        return [record.config for record in self.records]
+
+    def sources(self) -> frozenset:
+        """All sources ever assigned to a catchment."""
+        seen = set()
+        for record in self.records:
+            seen.update(record.assignment)
+        return frozenset(seen)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """The JSON-serializable representation."""
+        return {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "meta": self.meta,
+            "links": list(self.links),
+            "configs": [
+                {
+                    "label": record.config.label,
+                    "phase": record.config.phase,
+                    "announced": sorted(record.config.announced),
+                    "prepended": sorted(record.config.prepended),
+                    "poisoned": {
+                        link: sorted(ases)
+                        for link, ases in sorted(record.config.poisoned.items())
+                    },
+                    "no_export": {
+                        link: sorted(ases)
+                        for link, ases in sorted(record.config.no_export.items())
+                    },
+                    "prepend_count": record.config.prepend_count,
+                    "assignment": {
+                        str(source): link
+                        for source, link in sorted(record.assignment.items())
+                    },
+                }
+                for record in self.records
+            ],
+        }
+
+    def save(self, destination: PathOrIO) -> None:
+        """Write the dataset as JSON."""
+        if isinstance(destination, (str, Path)):
+            with open(destination, "w", encoding="utf-8") as handle:
+                json.dump(self.to_json_dict(), handle, indent=1)
+            return
+        json.dump(self.to_json_dict(), destination, indent=1)
+
+    @classmethod
+    def load(cls, source: PathOrIO) -> "Dataset":
+        """Load a dataset written by :meth:`save`.
+
+        Raises:
+            DataFormatError: on wrong format marker, unsupported version,
+                or malformed records.
+        """
+        if isinstance(source, (str, Path)):
+            with open(source, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        else:
+            payload = json.load(source)
+        return cls.from_json_dict(payload)
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, object]) -> "Dataset":
+        """Reconstruct a dataset from its JSON representation."""
+        if payload.get("format") != FORMAT_NAME:
+            raise DataFormatError(
+                f"not a {FORMAT_NAME} file (format={payload.get('format')!r})"
+            )
+        if payload.get("version") != FORMAT_VERSION:
+            raise DataFormatError(
+                f"unsupported dataset version {payload.get('version')!r}"
+            )
+        links = list(payload.get("links", []))
+        records: List[ConfigRecord] = []
+        for index, raw in enumerate(payload.get("configs", [])):
+            try:
+                config = AnnouncementConfig(
+                    announced=frozenset(raw["announced"]),
+                    prepended=frozenset(raw.get("prepended", [])),
+                    poisoned={
+                        link: frozenset(ases)
+                        for link, ases in raw.get("poisoned", {}).items()
+                    },
+                    no_export={
+                        link: frozenset(ases)
+                        for link, ases in raw.get("no_export", {}).items()
+                    },
+                    prepend_count=raw.get("prepend_count", 4),
+                    label=raw.get("label", ""),
+                    phase=raw.get("phase", ""),
+                )
+                assignment = {
+                    int(source): link
+                    for source, link in raw.get("assignment", {}).items()
+                }
+            except (KeyError, TypeError, ValueError) as exc:
+                raise DataFormatError(f"malformed config record {index}: {exc}") from exc
+            records.append(ConfigRecord(config=config, assignment=assignment))
+        return cls(links=links, records=records, meta=dict(payload.get("meta", {})))

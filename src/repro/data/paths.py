@@ -1,0 +1,222 @@
+"""AS-path dataset: route diversity and link discovery (paper §VI).
+
+Beyond catchments, the paper's published dataset "contains at least four
+alternate routes towards PEERING for each observed AS, has thousands of
+route changes ... and may discover new links (particularly as a result of
+our poisoning experiments)".  This module captures the equivalent:
+
+* :class:`PathDataset` — per configuration, the forwarding AS-path of
+  every covered source, saved/loaded as JSON Lines (one record per
+  configuration; streams well at Internet scale).
+* :meth:`PathDataset.route_diversity` — distinct paths observed per
+  source (the ≥ r+1 guarantee of §III-A).
+* :meth:`PathDataset.discovered_links` — AS adjacencies that only appear
+  under manipulation configurations, i.e. links invisible to a passive
+  observer of default routing (topology discovery as a side effect).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, IO, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from ..bgp.simulator import RoutingOutcome
+from ..errors import DataFormatError, SimulationError
+from ..types import ASN, ASPath
+
+PathOrIO = Union[str, Path, IO[str]]
+
+JSONL_HEADER = {"format": "repro-path-dataset", "version": 1}
+
+
+@dataclass
+class PathRecord:
+    """Forwarding paths of one configuration.
+
+    Attributes:
+        config_label: the configuration's label.
+        phase: its generation phase.
+        paths: source AS → forwarding path (source-first, origin-last).
+    """
+
+    config_label: str
+    phase: str
+    paths: Dict[ASN, ASPath] = field(default_factory=dict)
+
+    def links(self) -> Set[Tuple[ASN, ASN]]:
+        """Undirected AS adjacencies appearing on this record's paths."""
+        seen: Set[Tuple[ASN, ASN]] = set()
+        for path in self.paths.values():
+            for a, b in zip(path, path[1:]):
+                seen.add((a, b) if a < b else (b, a))
+        return seen
+
+
+class PathDataset:
+    """An ordered collection of per-configuration forwarding paths."""
+
+    def __init__(self, records: Optional[List[PathRecord]] = None) -> None:
+        self.records: List[PathRecord] = records or []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_outcomes(
+        cls, outcomes: Iterable[RoutingOutcome]
+    ) -> "PathDataset":
+        """Extract every covered source's forwarding path per outcome."""
+        records: List[PathRecord] = []
+        for outcome in outcomes:
+            paths: Dict[ASN, ASPath] = {}
+            for asn in outcome.covered_ases:
+                try:
+                    paths[asn] = outcome.forwarding_path(asn)
+                except SimulationError:
+                    continue
+            records.append(
+                PathRecord(
+                    config_label=outcome.config.label
+                    or outcome.config.describe(),
+                    phase=outcome.config.phase,
+                    paths=paths,
+                )
+            )
+        return cls(records)
+
+    def add(self, record: PathRecord) -> None:
+        """Append one configuration's record."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------
+    # Analyses (paper §VI claims)
+    # ------------------------------------------------------------------
+
+    def sources(self) -> FrozenSet[ASN]:
+        """Every source observed in at least one record."""
+        seen: Set[ASN] = set()
+        for record in self.records:
+            seen.update(record.paths)
+        return frozenset(seen)
+
+    def route_diversity(self) -> Dict[ASN, int]:
+        """Distinct forwarding paths observed per source."""
+        distinct: Dict[ASN, Set[ASPath]] = {}
+        for record in self.records:
+            for source, path in record.paths.items():
+                distinct.setdefault(source, set()).add(path)
+        return {source: len(paths) for source, paths in distinct.items()}
+
+    def route_changes(self) -> int:
+        """Total consecutive-configuration path changes across sources.
+
+        The paper advertises "thousands of route changes" as a dataset
+        feature for path-change research (PoiRoot, LIFEGUARD).
+        """
+        changes = 0
+        previous: Dict[ASN, ASPath] = {}
+        for record in self.records:
+            for source, path in record.paths.items():
+                if source in previous and previous[source] != path:
+                    changes += 1
+            previous.update(record.paths)
+        return changes
+
+    def discovered_links(
+        self, baseline_phases: Sequence[str] = ("locations",)
+    ) -> Set[Tuple[ASN, ASN]]:
+        """Adjacencies visible only outside the baseline phases.
+
+        With ``baseline_phases=("locations",)`` this answers: which links
+        did prepending/poisoning expose that plain anycast announcements
+        never used?  (The paper: "may discover new links, particularly as
+        a result of our poisoning experiments".)
+        """
+        baseline: Set[Tuple[ASN, ASN]] = set()
+        manipulated: Set[Tuple[ASN, ASN]] = set()
+        for record in self.records:
+            target = (
+                baseline if record.phase in baseline_phases else manipulated
+            )
+            target.update(record.links())
+        return manipulated - baseline
+
+    def phase_census(self) -> Dict[str, int]:
+        """Records per phase."""
+        return dict(Counter(record.phase for record in self.records))
+
+    # ------------------------------------------------------------------
+    # JSON Lines serialization
+    # ------------------------------------------------------------------
+
+    def save(self, destination: PathOrIO) -> None:
+        """Write as JSON Lines: a header line, then one line per record."""
+        if isinstance(destination, (str, Path)):
+            with open(destination, "w", encoding="utf-8") as handle:
+                self._write(handle)
+            return
+        self._write(destination)
+
+    def _write(self, handle: IO[str]) -> None:
+        handle.write(json.dumps(JSONL_HEADER) + "\n")
+        for record in self.records:
+            handle.write(
+                json.dumps(
+                    {
+                        "label": record.config_label,
+                        "phase": record.phase,
+                        "paths": {
+                            str(source): list(path)
+                            for source, path in sorted(record.paths.items())
+                        },
+                    }
+                )
+                + "\n"
+            )
+
+    @classmethod
+    def load(cls, source: PathOrIO) -> "PathDataset":
+        """Read a dataset written by :meth:`save`.
+
+        Raises:
+            DataFormatError: on a wrong header or malformed record lines.
+        """
+        if isinstance(source, (str, Path)):
+            with open(source, "r", encoding="utf-8") as handle:
+                return cls._read(handle)
+        return cls._read(source)
+
+    @classmethod
+    def _read(cls, handle: IO[str]) -> "PathDataset":
+        first = handle.readline()
+        try:
+            header = json.loads(first)
+        except json.JSONDecodeError as exc:
+            raise DataFormatError(f"bad path-dataset header: {first!r}") from exc
+        if header != JSONL_HEADER:
+            raise DataFormatError(f"unexpected path-dataset header {header!r}")
+        records: List[PathRecord] = []
+        for lineno, line in enumerate(handle, start=2):
+            if not line.strip():
+                continue
+            try:
+                raw = json.loads(line)
+                record = PathRecord(
+                    config_label=raw["label"],
+                    phase=raw.get("phase", ""),
+                    paths={
+                        int(source): tuple(path)
+                        for source, path in raw["paths"].items()
+                    },
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise DataFormatError(f"line {lineno}: {exc}") from exc
+            records.append(record)
+        return cls(records)

@@ -1,0 +1,128 @@
+"""End-to-end catchment measurement campaign.
+
+Ties the measurement substrate together the way the paper's experiment
+does: for each announcement configuration, collect public BGP feed paths
+and Atlas traceroutes, repair the traceroutes, infer AS-level paths,
+attribute every usable path to an origin peering link, resolve conflicts
+(BGP priority, then majority), and accumulate the per-configuration
+assignments into a :class:`~repro.measurement.catchment.CatchmentHistory`
+for smax imputation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..bgp.simulator import RoutingOutcome
+from ..topology.peering import OriginNetwork
+from ..types import ASN, LinkId
+from .atlas import AtlasProbeFleet
+from .catchment import (
+    KIND_BGP,
+    KIND_TRACEROUTE,
+    CatchmentObservation,
+    ResolutionStats,
+    resolve_observations,
+)
+from .collectors import BGPCollectorSet, link_of_bgp_path
+from .ip2as import IPToASMapper
+from .repair import (
+    as_path_from_traceroute,
+    build_bgp_segment_index,
+    build_gap_index,
+)
+
+
+@dataclass
+class ConfigMeasurement:
+    """Everything measured for one configuration.
+
+    Attributes:
+        assignment: resolved source → link map.
+        stats: conflict-resolution statistics.
+        bgp_paths_observed: number of usable BGP feed paths.
+        traceroutes_observed: number of usable traceroutes.
+    """
+
+    assignment: Dict[ASN, LinkId]
+    stats: ResolutionStats
+    bgp_paths_observed: int = 0
+    traceroutes_observed: int = 0
+
+
+class MeasurementCampaign:
+    """Measures catchments for routing outcomes using feeds + probes.
+
+    Args:
+        origin: the announcing network.
+        collectors: BGP feed vantage set.
+        fleet: Atlas-like probe fleet.
+        mapper: IP-to-AS mapper for traceroute hops.
+    """
+
+    def __init__(
+        self,
+        origin: OriginNetwork,
+        collectors: BGPCollectorSet,
+        fleet: AtlasProbeFleet,
+        mapper: IPToASMapper,
+    ) -> None:
+        self.origin = origin
+        self.collectors = collectors
+        self.fleet = fleet
+        self.mapper = mapper
+
+    def measure(self, outcome: RoutingOutcome) -> ConfigMeasurement:
+        """Measure one configuration's catchments."""
+        observations: List[CatchmentObservation] = []
+
+        bgp_observations = self.collectors.observe(outcome)
+        bgp_paths = list(bgp_observations.values())
+        usable_bgp = 0
+        for vantage, path in bgp_observations.items():
+            link = link_of_bgp_path(self.origin, path)
+            if link is None:
+                continue
+            usable_bgp += 1
+            # Every AS on the path (except the origin) is evidence of
+            # membership in this link's catchment — BGP paths reveal the
+            # routing decision of each traversed AS, not just the vantage.
+            for asn in path:
+                if asn == self.origin.asn:
+                    break
+                observations.append(
+                    CatchmentObservation(source_as=asn, link=link, kind=KIND_BGP)
+                )
+
+        traceroutes = self.fleet.all_traceroutes(outcome)
+        gap_index = build_gap_index(traceroutes)
+        bgp_segments = build_bgp_segment_index(bgp_paths)
+        usable_traces = 0
+        for trace in traceroutes:
+            if not trace.reached_target:
+                continue
+            as_path = as_path_from_traceroute(
+                trace, self.mapper, gap_index, bgp_segments
+            )
+            link = link_of_bgp_path(self.origin, as_path)
+            if link is None:
+                continue
+            usable_traces += 1
+            for asn in as_path:
+                if asn == self.origin.asn:
+                    break
+                observations.append(
+                    CatchmentObservation(
+                        source_as=asn, link=link, kind=KIND_TRACEROUTE
+                    )
+                )
+
+        assignment, stats = resolve_observations(observations)
+        assignment.pop(self.origin.asn, None)
+        return ConfigMeasurement(
+            assignment=assignment,
+            stats=stats,
+            bgp_paths_observed=usable_bgp,
+            traceroutes_observed=usable_traces,
+        )

@@ -1,0 +1,110 @@
+"""PeeringDB-style IXP registry.
+
+Traceroutes crossing an Internet exchange show a hop numbered from the
+IXP's peering LAN, which belongs to the exchange — not to either member
+AS.  The paper uses PeeringDB data to recognize and discard such hops
+(§IV-b, citing traIXroute).  Offline we synthesize IXP peering LANs and
+assign a random subset of peer-to-peer links to them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..topology.graph import ASGraph
+from ..topology.relationships import Relationship
+from ..types import ASN, Prefix
+from .ip2as import IXP_BLOCK_BASE
+
+
+@dataclass(frozen=True)
+class IXP:
+    """One Internet exchange point.
+
+    Attributes:
+        name: display name.
+        peering_lan: the exchange's shared subnet.
+        members: ASes present at the exchange.
+    """
+
+    name: str
+    peering_lan: Prefix
+    members: FrozenSet[ASN]
+
+
+class IXPRegistry:
+    """Registry of IXPs and the peering links that traverse them.
+
+    Args:
+        ixps: exchanges to register.  Peer links between two members of
+            the same exchange are treated as traversing its peering LAN.
+    """
+
+    def __init__(self, ixps: Iterable[IXP] = ()) -> None:
+        self._ixps: List[IXP] = list(ixps)
+        self._lan_of_link: Dict[Tuple[ASN, ASN], IXP] = {}
+        for ixp in self._ixps:
+            members = sorted(ixp.members)
+            for i, a in enumerate(members):
+                for b in members[i + 1:]:
+                    self._lan_of_link.setdefault((a, b), ixp)
+
+    @property
+    def ixps(self) -> List[IXP]:
+        """All registered exchanges."""
+        return list(self._ixps)
+
+    def prefixes(self) -> List[Prefix]:
+        """All peering-LAN prefixes (for the IP-to-AS mapper)."""
+        return [ixp.peering_lan for ixp in self._ixps]
+
+    def ixp_for_link(self, a: ASN, b: ASN) -> Optional[IXP]:
+        """The exchange a link crosses, or None for private interconnects."""
+        key = (a, b) if a < b else (b, a)
+        return self._lan_of_link.get(key)
+
+    def lan_address(self, ixp: IXP, member: ASN) -> int:
+        """Deterministic peering-LAN address of ``member`` at ``ixp``."""
+        offset = 1 + (member % (ixp.peering_lan.num_addresses - 2))
+        return ixp.peering_lan.network + offset
+
+
+def synthesize_ixps(
+    graph: ASGraph,
+    fraction_of_peer_links: float = 0.5,
+    num_ixps: int = 4,
+    seed: int = 0,
+) -> IXPRegistry:
+    """Build a registry covering a fraction of the topology's peer links.
+
+    Peer links are shuffled deterministically and dealt across ``num_ixps``
+    exchanges until the requested fraction is covered; each exchange's
+    membership is the union of its links' endpoints.
+    """
+    if not 0.0 <= fraction_of_peer_links <= 1.0:
+        raise ValueError("fraction_of_peer_links must be in [0, 1]")
+    if num_ixps < 1:
+        raise ValueError("need at least one IXP")
+    peer_links = [
+        (a, b)
+        for a, b, relationship in graph.links()
+        if relationship is Relationship.PEER
+    ]
+    rng = random.Random(seed)
+    rng.shuffle(peer_links)
+    covered = peer_links[: round(len(peer_links) * fraction_of_peer_links)]
+    member_sets: List[set] = [set() for _ in range(num_ixps)]
+    for index, (a, b) in enumerate(covered):
+        member_sets[index % num_ixps].update((a, b))
+    ixps = [
+        IXP(
+            name=f"IXP-{index:02d}",
+            peering_lan=Prefix(IXP_BLOCK_BASE + index * 0x100, 24),
+            members=frozenset(members),
+        )
+        for index, members in enumerate(member_sets)
+        if members
+    ]
+    return IXPRegistry(ixps)

@@ -1,0 +1,17 @@
+"""Mitigation driven by localization: RTBH and flowspec rules (paper §I)."""
+
+from .rules import (
+    BlackholeRule,
+    FlowspecRule,
+    MitigationReport,
+    evaluate_mitigation,
+    rules_from_localization,
+)
+
+__all__ = [
+    "BlackholeRule",
+    "FlowspecRule",
+    "MitigationReport",
+    "rules_from_localization",
+    "evaluate_mitigation",
+]

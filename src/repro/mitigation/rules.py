@@ -1,0 +1,207 @@
+"""DDoS mitigation driven by localization results (paper §I, §VIII).
+
+The paper motivates localization as an input to "automatic DoS mitigation
+systems that use, e.g., BGP communities to trigger remote traffic
+blackholing [RTBH] or BGP flowspec to configure traffic filters".  This
+module closes that loop:
+
+* :class:`BlackholeRule` — classic remotely-triggered blackholing: the
+  victim prefix is dropped wholesale upstream.  Stops the attack and all
+  legitimate traffic alike (100% collateral damage).
+* :class:`FlowspecRule` — a filter dropping traffic *from specific source
+  ASes* on specific peering links, which is only as good as the
+  localization behind it: small suspect clusters ⇒ little collateral.
+* :func:`rules_from_localization` — turn a
+  :class:`~repro.core.localization.LocalizationResult` into flowspec
+  rules covering a target fraction of the attack volume.
+* :func:`evaluate_mitigation` — score a rule set against ground truth:
+  attack volume dropped vs legitimate volume caught in the filters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence
+
+from ..core.localization import LocalizationResult
+from ..spoof.sources import SourcePlacement
+from ..types import ASN, Catchment, LinkId
+
+
+@dataclass(frozen=True)
+class BlackholeRule:
+    """Remotely-triggered blackhole: drop everything toward the victim.
+
+    Attributes:
+        scope_links: peering links the blackhole applies to (empty = all).
+    """
+
+    scope_links: FrozenSet[LinkId] = frozenset()
+
+    def matches(self, source_as: ASN, ingress_link: LinkId) -> bool:
+        """A blackhole drops every flow within its scope."""
+        return not self.scope_links or ingress_link in self.scope_links
+
+
+@dataclass(frozen=True)
+class FlowspecRule:
+    """A source-AS-scoped drop filter (BGP flowspec, RFC 5575).
+
+    Attributes:
+        source_ases: ASes whose traffic the filter drops.  In deployment
+            these become source-prefix match rules (the ASes' announced
+            prefixes); at our AS granularity the AS set is the rule.
+        scope_links: peering links the filter is installed on (empty =
+            all links).
+    """
+
+    source_ases: FrozenSet[ASN]
+    scope_links: FrozenSet[LinkId] = frozenset()
+
+    def __post_init__(self) -> None:
+        if not self.source_ases:
+            raise ValueError("flowspec rule needs at least one source AS")
+
+    def matches(self, source_as: ASN, ingress_link: LinkId) -> bool:
+        """True if a flow from ``source_as`` on ``ingress_link`` is dropped."""
+        if self.scope_links and ingress_link not in self.scope_links:
+            return False
+        return source_as in self.source_ases
+
+
+MitigationRule = object  # BlackholeRule | FlowspecRule (3.9-compatible alias)
+
+
+def rules_from_localization(
+    result: LocalizationResult,
+    volume_fraction: float = 0.95,
+    max_rules: Optional[int] = None,
+    catchments: Optional[Mapping[LinkId, Catchment]] = None,
+) -> List[FlowspecRule]:
+    """One flowspec rule per suspect cluster, best-ranked first.
+
+    Args:
+        result: localization output (clusters ranked by estimated volume).
+        volume_fraction: stop once this fraction of the estimated volume
+            is covered.
+        max_rules: hard cap on emitted rules (flowspec tables are small).
+        catchments: when given (the currently active configuration's
+            catchments), each rule is scoped to the single link the
+            cluster's traffic arrives on, minimizing filter footprint.
+
+    Raises:
+        ValueError: for an out-of-range ``volume_fraction``.
+    """
+    if not 0.0 < volume_fraction <= 1.0:
+        raise ValueError("volume_fraction must be in (0, 1]")
+    total = sum(cluster.estimated_volume for cluster in result.ranked)
+    rules: List[FlowspecRule] = []
+    covered = 0.0
+    link_of: Dict[ASN, LinkId] = {}
+    if catchments:
+        for link, members in catchments.items():
+            for asn in members:
+                link_of[asn] = link
+    for cluster in result.ranked:
+        if cluster.estimated_volume <= 0.0:
+            break
+        if total > 0 and covered >= volume_fraction * total:
+            break
+        if max_rules is not None and len(rules) >= max_rules:
+            break
+        scope: FrozenSet[LinkId] = frozenset()
+        if link_of:
+            links = {link_of[asn] for asn in cluster.members if asn in link_of}
+            if len(links) == 1:
+                scope = frozenset(links)
+        rules.append(
+            FlowspecRule(source_ases=cluster.members, scope_links=scope)
+        )
+        covered += cluster.estimated_volume
+    return rules
+
+
+@dataclass
+class MitigationReport:
+    """Ground-truth evaluation of a mitigation rule set.
+
+    Attributes:
+        attack_volume_dropped: fraction of spoofed volume the rules drop.
+        legitimate_volume_dropped: fraction of legitimate volume caught
+            (collateral damage).
+        rules_installed: number of rules evaluated.
+        ases_filtered: total source ASes covered by the rules.
+    """
+
+    attack_volume_dropped: float
+    legitimate_volume_dropped: float
+    rules_installed: int
+    ases_filtered: int
+
+    @property
+    def selectivity(self) -> float:
+        """Dropped attack share minus collateral share (1.0 is perfect)."""
+        return self.attack_volume_dropped - self.legitimate_volume_dropped
+
+
+def evaluate_mitigation(
+    rules: Sequence[object],
+    placement: SourcePlacement,
+    catchments: Mapping[LinkId, Catchment],
+    legitimate_sources: Optional[Iterable[ASN]] = None,
+) -> MitigationReport:
+    """Score rules against the ground-truth attack placement.
+
+    Attack flows originate at the placement's ASes (volume ∝ sources) and
+    ingress on the active configuration's catchment links; legitimate
+    flows (one unit each) come from ``legitimate_sources`` (default:
+    every AS in any catchment).
+    """
+    link_of: Dict[ASN, LinkId] = {}
+    for link, members in catchments.items():
+        for asn in members:
+            link_of[asn] = link
+
+    def dropped(source: ASN) -> bool:
+        link = link_of.get(source)
+        if link is None:
+            return False
+        return any(rule.matches(source, link) for rule in rules)
+
+    attack_volumes = placement.volume_by_as(1.0)
+    attack_dropped = sum(
+        volume for source, volume in attack_volumes.items() if dropped(source)
+    )
+    attack_total = sum(
+        volume
+        for source, volume in attack_volumes.items()
+        if link_of.get(source) is not None
+    )
+
+    if legitimate_sources is None:
+        legitimate_sources = sorted(link_of)
+    legit_total = 0
+    legit_dropped = 0
+    for source in legitimate_sources:
+        if link_of.get(source) is None:
+            continue
+        legit_total += 1
+        if dropped(source):
+            legit_dropped += 1
+
+    filtered: set = set()
+    for rule in rules:
+        if isinstance(rule, FlowspecRule):
+            filtered |= rule.source_ases
+        elif isinstance(rule, BlackholeRule):
+            filtered |= set(link_of)
+    return MitigationReport(
+        attack_volume_dropped=(
+            attack_dropped / attack_total if attack_total else 0.0
+        ),
+        legitimate_volume_dropped=(
+            legit_dropped / legit_total if legit_total else 0.0
+        ),
+        rules_installed=len(rules),
+        ases_filtered=len(filtered),
+    )

@@ -1,0 +1,45 @@
+"""Spoofed-traffic substrate: source placement, traffic, honeypot, labeling."""
+
+from .honeypot import (
+    AMPLIFICATION_FACTORS,
+    AmplificationHoneypot,
+    HoneypotReport,
+)
+from .inference import InferenceQuality, LabeledFlow, ValidSourceInference
+from .sources import (
+    PARETO_8020_SHAPE,
+    PLACEMENT_DISTRIBUTIONS,
+    SourcePlacement,
+    make_placement,
+    pareto_placement,
+    single_source_placement,
+    uniform_placement,
+)
+from .traffic import (
+    SpoofedPacket,
+    SpoofedTrafficGenerator,
+    link_volumes,
+    link_volumes_from_outcome,
+    volumes_from_packets,
+)
+
+__all__ = [
+    "SourcePlacement",
+    "uniform_placement",
+    "pareto_placement",
+    "single_source_placement",
+    "make_placement",
+    "PLACEMENT_DISTRIBUTIONS",
+    "PARETO_8020_SHAPE",
+    "SpoofedPacket",
+    "SpoofedTrafficGenerator",
+    "link_volumes",
+    "link_volumes_from_outcome",
+    "volumes_from_packets",
+    "AmplificationHoneypot",
+    "HoneypotReport",
+    "AMPLIFICATION_FACTORS",
+    "ValidSourceInference",
+    "InferenceQuality",
+    "LabeledFlow",
+]

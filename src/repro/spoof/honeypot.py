@@ -1,0 +1,108 @@
+"""Amplification honeypot (AmpPot-style) for measuring spoofed volume.
+
+The paper proposes hosting a honeypot that *emulates* a service vulnerable
+to amplification (DNS open resolver, NTP monlist, chargen, …) inside the
+announced prefix.  Because the prefix carries no legitimate traffic, every
+query the honeypot receives is spoofed (it is attack traffic aimed at a
+reflector), so per-link query counts directly estimate per-link spoofed
+volume (§III-C).  AmpPot additionally rate-limits would-be responses so it
+never contributes meaningful attack bandwidth; we model the limiter because
+it truncates the *response* estimate but not the *request* observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping
+
+from ..types import LinkId
+from .traffic import SpoofedPacket
+
+#: Representative amplification factors (response bytes per request byte)
+#: from the amplification-attack literature.
+AMPLIFICATION_FACTORS: Mapping[str, float] = {
+    "dns": 28.7,
+    "ntp": 556.9,
+    "chargen": 358.8,
+    "ssdp": 30.8,
+    "memcached": 10000.0,
+}
+
+DEFAULT_SERVICE = "ntp"
+
+
+@dataclass
+class HoneypotReport:
+    """Aggregated honeypot observations.
+
+    Attributes:
+        queries_by_link: spoofed queries received per peering link.
+        bytes_by_link: spoofed request bytes per peering link.
+        suppressed_response_bytes: response bytes the rate limiter refused
+            to send (what a real reflector would have fired at the victim).
+        emitted_response_bytes: response bytes within the rate cap.
+    """
+
+    queries_by_link: Dict[LinkId, int] = field(default_factory=dict)
+    bytes_by_link: Dict[LinkId, float] = field(default_factory=dict)
+    suppressed_response_bytes: float = 0.0
+    emitted_response_bytes: float = 0.0
+
+    @property
+    def total_queries(self) -> int:
+        """Total spoofed queries observed."""
+        return sum(self.queries_by_link.values())
+
+    def volume_fractions(self) -> Dict[LinkId, float]:
+        """Per-link fraction of observed spoofed volume (sums to 1)."""
+        total = sum(self.bytes_by_link.values())
+        if total <= 0:
+            return {link: 0.0 for link in self.bytes_by_link}
+        return {
+            link: volume / total for link, volume in self.bytes_by_link.items()
+        }
+
+
+class AmplificationHoneypot:
+    """An AmpPot-like honeypot attached to the origin's announced prefix.
+
+    Args:
+        service: emulated service name (keys of
+            :data:`AMPLIFICATION_FACTORS`).
+        response_rate_limit_bytes: cap on response bytes the honeypot is
+            willing to emit per observation window (AmpPot's sending-rate
+            limit); everything beyond is counted as suppressed.
+    """
+
+    def __init__(
+        self,
+        service: str = DEFAULT_SERVICE,
+        response_rate_limit_bytes: float = 10_000.0,
+    ) -> None:
+        if service not in AMPLIFICATION_FACTORS:
+            raise ValueError(
+                f"unknown service {service!r}; expected one of "
+                f"{sorted(AMPLIFICATION_FACTORS)}"
+            )
+        if response_rate_limit_bytes < 0:
+            raise ValueError("rate limit must be non-negative")
+        self.service = service
+        self.amplification_factor = AMPLIFICATION_FACTORS[service]
+        self.response_rate_limit_bytes = response_rate_limit_bytes
+
+    def observe(self, packets: Iterable[SpoofedPacket]) -> HoneypotReport:
+        """Process a stream of spoofed queries into a report."""
+        report = HoneypotReport()
+        budget = self.response_rate_limit_bytes
+        for packet in packets:
+            link = packet.ingress_link
+            report.queries_by_link[link] = report.queries_by_link.get(link, 0) + 1
+            report.bytes_by_link[link] = (
+                report.bytes_by_link.get(link, 0.0) + packet.size_bytes
+            )
+            response = packet.size_bytes * self.amplification_factor
+            emitted = min(response, budget)
+            budget -= emitted
+            report.emitted_response_bytes += emitted
+            report.suppressed_response_bytes += response - emitted
+        return report

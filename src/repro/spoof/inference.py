@@ -1,0 +1,159 @@
+"""Valid-source inference: labeling spoofed traffic without a honeypot.
+
+The paper's alternative to a honeypot (§III-C, citing Lichtblau et al.):
+infer the set of *legitimate* source ASes expected on each peering link —
+i.e. the link's catchment, as routing is largely symmetric at the AS level
+for these purposes — and label traffic whose (ingress link, source AS)
+pair is unexpected as spoofed.
+
+Two error sources are modeled, since they drive the method's precision in
+practice:
+
+* incomplete learning — legitimate traffic only samples part of the
+  catchment, so rarely-seen legitimate sources can be mislabeled spoofed;
+* routing asymmetry/churn — a fraction of legitimate sources genuinely
+  arrives on a different link than the catchment predicts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple
+
+from ..types import ASN, Catchment, LinkId
+
+
+@dataclass(frozen=True)
+class LabeledFlow:
+    """One observed flow with its spoofed/legitimate verdict.
+
+    Attributes:
+        ingress_link: peering link the flow arrived on.
+        source_as: AS the flow's source address maps to.
+        labeled_spoofed: the classifier's verdict.
+        truly_spoofed: ground truth (for accuracy evaluation).
+    """
+
+    ingress_link: LinkId
+    source_as: ASN
+    labeled_spoofed: bool
+    truly_spoofed: bool
+
+
+@dataclass(frozen=True)
+class InferenceQuality:
+    """Precision/recall of spoofed labeling against ground truth."""
+
+    true_positives: int
+    false_positives: int
+    true_negatives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        """Fraction of spoofed labels that are truly spoofed (1.0 if none)."""
+        labeled = self.true_positives + self.false_positives
+        return self.true_positives / labeled if labeled else 1.0
+
+    @property
+    def recall(self) -> float:
+        """Fraction of truly spoofed flows that were labeled spoofed."""
+        actual = self.true_positives + self.false_negatives
+        return self.true_positives / actual if actual else 1.0
+
+
+class ValidSourceInference:
+    """Learns expected (link → source ASes) sets and labels flows.
+
+    Args:
+        catchments: the active configuration's catchments (ground-truth
+            legitimate mapping).
+        learning_coverage: fraction of each catchment actually observed in
+            legitimate traffic during learning (1.0 = perfect knowledge).
+        asymmetry_rate: fraction of legitimate flows that arrive on a
+            different link than their catchment predicts.
+        rng: PRNG driving the sampling.
+    """
+
+    def __init__(
+        self,
+        catchments: Mapping[LinkId, Catchment],
+        learning_coverage: float = 1.0,
+        asymmetry_rate: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not 0.0 < learning_coverage <= 1.0:
+            raise ValueError("learning_coverage must be in (0, 1]")
+        if not 0.0 <= asymmetry_rate < 1.0:
+            raise ValueError("asymmetry_rate must be in [0, 1)")
+        self.rng = rng or random.Random()
+        self.asymmetry_rate = asymmetry_rate
+        self._links = sorted(catchments)
+        self._true_catchment_of: Dict[ASN, LinkId] = {}
+        self._expected: Dict[LinkId, Set[ASN]] = {}
+        for link, members in catchments.items():
+            for asn in members:
+                self._true_catchment_of[asn] = link
+            ordered = sorted(members)
+            sample_size = max(1, round(len(ordered) * learning_coverage)) if ordered else 0
+            self._expected[link] = set(
+                self.rng.sample(ordered, sample_size) if ordered else []
+            )
+
+    def expected_sources(self, link: LinkId) -> FrozenSet[ASN]:
+        """Learned legitimate source set for ``link``."""
+        return frozenset(self._expected.get(link, set()))
+
+    def label(self, ingress_link: LinkId, source_as: ASN) -> bool:
+        """Return True if a flow looks spoofed (unexpected on this link)."""
+        return source_as not in self._expected.get(ingress_link, set())
+
+    # ------------------------------------------------------------------
+
+    def simulate_flows(
+        self,
+        legitimate_sources: Iterable[ASN],
+        spoofing_sources: Iterable[Tuple[LinkId, ASN]],
+    ) -> Tuple[Dict[LinkId, float], InferenceQuality]:
+        """Label a mixed workload and compute per-link spoofed volume.
+
+        Args:
+            legitimate_sources: ASes sending legitimate flows (one flow
+                each); their ingress link follows their catchment, except
+                for an ``asymmetry_rate`` fraction that arrives elsewhere.
+            spoofing_sources: (ingress link, claimed source AS) pairs for
+                spoofed flows — the claimed AS is whatever the forged
+                address maps to.
+
+        Returns:
+            (per-link spoofed-labeled flow counts, quality metrics).
+        """
+        volumes: Dict[LinkId, float] = {link: 0.0 for link in self._links}
+        tp = fp = tn = fn = 0
+        for source in legitimate_sources:
+            link = self._true_catchment_of.get(source)
+            if link is None:
+                continue
+            if self.asymmetry_rate and self.rng.random() < self.asymmetry_rate:
+                alternates = [l for l in self._links if l != link]
+                if alternates:
+                    link = self.rng.choice(alternates)
+            if self.label(link, source):
+                fp += 1
+                volumes[link] += 1.0
+            else:
+                tn += 1
+        for link, claimed in spoofing_sources:
+            if self.label(link, claimed):
+                tp += 1
+                volumes[link] += 1.0
+            else:
+                fn += 1
+        quality = InferenceQuality(
+            true_positives=tp,
+            false_positives=fp,
+            true_negatives=tn,
+            false_negatives=fn,
+        )
+        return volumes, quality

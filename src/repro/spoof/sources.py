@@ -1,0 +1,145 @@
+"""Placement of spoofed-traffic sources across ASes (paper §V-D).
+
+The paper's identification-accuracy study places sources of spoofed
+traffic across ASes according to three distributions and assumes the
+volume of spoofed traffic originated in an AS is proportional to the
+number of sources in it:
+
+* **uniform** — each source lands in a uniformly random AS,
+* **Pareto** — heavy-tailed, shaped so 80% of sources concentrate in 20%
+  of ASes,
+* **single source** — one source in one random AS (the common case for
+  amplification attacks per AmpPot observations).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Mapping, Optional, Sequence
+
+from ..types import ASN
+
+#: Pareto shape for the 80/20 rule: solves 0.8 = 0.2^(1 - 1/α),
+#: α = log(5)/log(4) ≈ 1.1606 (classic Pareto-principle exponent).
+PARETO_8020_SHAPE = math.log(5) / math.log(4)
+
+
+@dataclass(frozen=True)
+class SourcePlacement:
+    """Sources of spoofed traffic placed across ASes.
+
+    Attributes:
+        sources_by_as: number of sources hosted per AS (only ASes with at
+            least one source appear).
+        distribution: name of the generating distribution.
+    """
+
+    sources_by_as: Mapping[ASN, int]
+    distribution: str = "custom"
+
+    def __post_init__(self) -> None:
+        if not self.sources_by_as:
+            raise ValueError("placement must contain at least one source")
+        for asn, count in self.sources_by_as.items():
+            if count <= 0:
+                raise ValueError(f"AS {asn} has non-positive source count {count}")
+
+    @property
+    def total_sources(self) -> int:
+        """Total number of spoofing sources placed."""
+        return sum(self.sources_by_as.values())
+
+    @property
+    def spoofing_ases(self) -> FrozenSet[ASN]:
+        """ASes hosting at least one source."""
+        return frozenset(self.sources_by_as)
+
+    def volume_by_as(self, total_volume: float = 1.0) -> Dict[ASN, float]:
+        """Spoofed traffic volume per AS, proportional to source count.
+
+        Args:
+            total_volume: total volume to distribute (default 1.0, i.e.
+                fractions).
+        """
+        total = self.total_sources
+        return {
+            asn: total_volume * count / total
+            for asn, count in self.sources_by_as.items()
+        }
+
+
+def uniform_placement(
+    ases: Sequence[ASN], num_sources: int, rng: Optional[random.Random] = None
+) -> SourcePlacement:
+    """Place ``num_sources`` sources, each in a uniformly random AS."""
+    rng = rng or random.Random()
+    _require_sources(num_sources, ases)
+    counts: Dict[ASN, int] = {}
+    for _ in range(num_sources):
+        asn = rng.choice(ases)
+        counts[asn] = counts.get(asn, 0) + 1
+    return SourcePlacement(counts, distribution="uniform")
+
+
+def pareto_placement(
+    ases: Sequence[ASN],
+    num_sources: int,
+    rng: Optional[random.Random] = None,
+    shape: float = PARETO_8020_SHAPE,
+) -> SourcePlacement:
+    """Place sources with Pareto-distributed per-AS propensities.
+
+    Each AS draws a Pareto(shape) weight; sources are then assigned
+    proportionally to the weights.  With the default shape, roughly 80% of
+    sources fall in the top 20% of ASes (the paper's parameterization).
+    """
+    rng = rng or random.Random()
+    _require_sources(num_sources, ases)
+    if shape <= 0:
+        raise ValueError("Pareto shape must be positive")
+    weights = [rng.paretovariate(shape) for _ in ases]
+    counts: Dict[ASN, int] = {}
+    for asn in rng.choices(ases, weights=weights, k=num_sources):
+        counts[asn] = counts.get(asn, 0) + 1
+    return SourcePlacement(counts, distribution="pareto")
+
+
+def single_source_placement(
+    ases: Sequence[ASN], rng: Optional[random.Random] = None
+) -> SourcePlacement:
+    """Place a single source in one AS chosen uniformly at random."""
+    rng = rng or random.Random()
+    _require_sources(1, ases)
+    return SourcePlacement({rng.choice(ases): 1}, distribution="single")
+
+
+#: Registry used by the Figure 10 experiment to sweep distributions.
+PLACEMENT_DISTRIBUTIONS = ("uniform", "pareto", "single")
+
+
+def make_placement(
+    distribution: str,
+    ases: Sequence[ASN],
+    num_sources: int,
+    rng: Optional[random.Random] = None,
+) -> SourcePlacement:
+    """Dispatch on a distribution name from :data:`PLACEMENT_DISTRIBUTIONS`."""
+    if distribution == "uniform":
+        return uniform_placement(ases, num_sources, rng)
+    if distribution == "pareto":
+        return pareto_placement(ases, num_sources, rng)
+    if distribution == "single":
+        return single_source_placement(ases, rng)
+    raise ValueError(
+        f"unknown distribution {distribution!r}; "
+        f"expected one of {PLACEMENT_DISTRIBUTIONS}"
+    )
+
+
+def _require_sources(num_sources: int, ases: Sequence[ASN]) -> None:
+    if num_sources < 1:
+        raise ValueError("need at least one source")
+    if not ases:
+        raise ValueError("cannot place sources over an empty AS list")

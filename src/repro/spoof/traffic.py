@@ -1,0 +1,137 @@
+"""Spoofed traffic generation and per-link volume observation.
+
+The origin cannot see which AS originated a spoofed packet — only which
+peering link it arrived on (§I).  This module generates spoofed packet
+streams from a :class:`~repro.spoof.sources.SourcePlacement`, routes them
+to links using a configuration's catchments, and produces the per-link
+volume observations the localization pipeline consumes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional
+
+from ..bgp.simulator import RoutingOutcome
+from ..types import ASN, Catchment, LinkId
+from .sources import SourcePlacement
+
+
+@dataclass(frozen=True)
+class SpoofedPacket:
+    """One spoofed packet as seen at the origin network.
+
+    Attributes:
+        ingress_link: peering link the packet arrived on (observable).
+        spoofed_source: the forged source address, as a 32-bit int
+            (observable but meaningless for attribution).
+        true_source_as: ground-truth originating AS (never observable in
+            practice; kept for evaluating identification accuracy).
+        size_bytes: packet size.
+    """
+
+    ingress_link: LinkId
+    spoofed_source: int
+    true_source_as: ASN
+    size_bytes: int = 64
+
+
+def link_volumes(
+    placement: SourcePlacement,
+    catchments: Mapping[LinkId, Catchment],
+    total_volume: float = 1.0,
+) -> Dict[LinkId, float]:
+    """Noiseless per-link spoofed volume under one configuration.
+
+    Each source AS's volume lands entirely on the link whose catchment
+    contains it; sources outside every catchment contribute nothing (they
+    have no route to the prefix, e.g. after a withdrawal they may still be
+    covered elsewhere — the caller decides how to treat them).
+    """
+    catchment_of: Dict[ASN, LinkId] = {}
+    for link, members in catchments.items():
+        for asn in members:
+            catchment_of[asn] = link
+    volumes = {link: 0.0 for link in catchments}
+    for asn, volume in placement.volume_by_as(total_volume).items():
+        link = catchment_of.get(asn)
+        if link is not None:
+            volumes[link] += volume
+    return volumes
+
+
+def link_volumes_from_outcome(
+    placement: SourcePlacement,
+    outcome: RoutingOutcome,
+    total_volume: float = 1.0,
+) -> Dict[LinkId, float]:
+    """Per-link volumes computed from a routing outcome's catchments."""
+    return link_volumes(placement, outcome.catchments, total_volume)
+
+
+class SpoofedTrafficGenerator:
+    """Generates packet-level spoofed traffic for honeypot experiments.
+
+    Packets are attributed to links via the supplied catchments; spoofed
+    source addresses are drawn uniformly from the IPv4 space (classic
+    random-spoofing behaviour of amplification attack origins).
+
+    Args:
+        placement: where the spoofing sources sit.
+        catchments: the active configuration's catchments.
+        rng: PRNG for reproducibility.
+        packet_size_bytes: size of every generated packet.
+    """
+
+    def __init__(
+        self,
+        placement: SourcePlacement,
+        catchments: Mapping[LinkId, Catchment],
+        rng: Optional[random.Random] = None,
+        packet_size_bytes: int = 64,
+    ) -> None:
+        if packet_size_bytes <= 0:
+            raise ValueError("packet size must be positive")
+        self.placement = placement
+        self.rng = rng or random.Random()
+        self.packet_size_bytes = packet_size_bytes
+        self._catchment_of: Dict[ASN, LinkId] = {}
+        for link, members in catchments.items():
+            for asn in members:
+                self._catchment_of[asn] = link
+        # Sources with no route never deliver packets.
+        self._active: List[ASN] = sorted(
+            asn for asn in placement.spoofing_ases if asn in self._catchment_of
+        )
+        self._weights = [placement.sources_by_as[asn] for asn in self._active]
+
+    @property
+    def active_source_ases(self) -> List[ASN]:
+        """Source ASes that currently have a route to the prefix."""
+        return list(self._active)
+
+    def packets(self, count: int) -> Iterator[SpoofedPacket]:
+        """Yield ``count`` spoofed packets with sources drawn ∝ source counts."""
+        if count < 0:
+            raise ValueError("packet count must be non-negative")
+        if not self._active:
+            return
+        origins = self.rng.choices(self._active, weights=self._weights, k=count)
+        for true_source in origins:
+            yield SpoofedPacket(
+                ingress_link=self._catchment_of[true_source],
+                spoofed_source=self.rng.getrandbits(32),
+                true_source_as=true_source,
+                size_bytes=self.packet_size_bytes,
+            )
+
+
+def volumes_from_packets(packets: Iterable[SpoofedPacket]) -> Dict[LinkId, float]:
+    """Aggregate packets into per-link byte volumes."""
+    volumes: Dict[LinkId, float] = {}
+    for packet in packets:
+        volumes[packet.ingress_link] = (
+            volumes.get(packet.ingress_link, 0.0) + packet.size_bytes
+        )
+    return volumes

@@ -1,0 +1,41 @@
+"""AS-level topology substrate: graphs, relationships, generation, I/O."""
+
+from .geography import (
+    DEFAULT_REGION_WEIGHTS,
+    REGIONS,
+    GeographyModel,
+    region_distance,
+)
+from .graph import ASGraph
+from .generator import GeneratedTopology, TopologyParams, generate_topology
+from .peering import (
+    PAPER_MUXES,
+    PEERING_ASN,
+    OriginNetwork,
+    PeeringLink,
+    attach_origin,
+)
+from .relationships import Relationship, export_allowed
+from .serialization import dump_as_rel, dumps_as_rel, load_as_rel, loads_as_rel
+
+__all__ = [
+    "ASGraph",
+    "GeographyModel",
+    "REGIONS",
+    "DEFAULT_REGION_WEIGHTS",
+    "region_distance",
+    "GeneratedTopology",
+    "TopologyParams",
+    "generate_topology",
+    "OriginNetwork",
+    "PeeringLink",
+    "attach_origin",
+    "PAPER_MUXES",
+    "PEERING_ASN",
+    "Relationship",
+    "export_allowed",
+    "load_as_rel",
+    "loads_as_rel",
+    "dump_as_rel",
+    "dumps_as_rel",
+]

@@ -1,0 +1,130 @@
+"""Geographic regions and IGP-proximity (hot-potato) modeling.
+
+The paper's §III-A-b notes that BGP tiebreakers *after* AS-path length —
+IGP costs in particular — "cannot be controlled ... and thus cannot be
+employed by the origin for route manipulation", and §IV-c observes that
+"routers in the US and Europe may choose different routes".  To let
+experiments probe how much geography-driven tie-breaking helps or hurts
+the techniques, this module assigns every AS a coarse region and exposes
+an inter-region distance that the policy model can use as an IGP-cost
+stand-in: ties between equally-long routes then resolve toward the
+geographically closest neighbor (hot-potato) instead of an arbitrary
+router-state tiebreak.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from ..types import ASN
+
+#: Coarse regions, ordered; the distance matrix below indexes this order.
+REGIONS: Tuple[str, ...] = ("NA", "SA", "EU", "AF", "AS", "OC")
+
+#: Rough relative propagation distance between regions (arbitrary units,
+#: symmetric, zero diagonal) — intercontinental paths dominate IGP cost at
+#: this granularity.
+_REGION_DISTANCE: Tuple[Tuple[int, ...], ...] = (
+    #  NA  SA  EU  AF  AS  OC
+    (0, 2, 3, 4, 5, 5),  # NA
+    (2, 0, 4, 3, 6, 6),  # SA
+    (3, 4, 0, 2, 3, 6),  # EU
+    (4, 3, 2, 0, 4, 6),  # AF
+    (5, 6, 3, 4, 0, 3),  # AS
+    (5, 6, 6, 6, 3, 0),  # OC
+)
+
+#: Default share of ASes per region, loosely following registry counts.
+DEFAULT_REGION_WEIGHTS: Mapping[str, float] = {
+    "NA": 0.30,
+    "EU": 0.30,
+    "AS": 0.18,
+    "SA": 0.12,
+    "AF": 0.06,
+    "OC": 0.04,
+}
+
+
+class GeographyModel:
+    """Region assignment plus inter-region distances.
+
+    Args:
+        region_of: explicit AS → region mapping.
+
+    Raises:
+        ValueError: on unknown region names.
+    """
+
+    def __init__(self, region_of: Mapping[ASN, str]) -> None:
+        for asn, region in region_of.items():
+            if region not in REGIONS:
+                raise ValueError(f"unknown region {region!r} for AS {asn}")
+        self._region_of: Dict[ASN, str] = dict(region_of)
+
+    @classmethod
+    def random(
+        cls,
+        ases: Iterable[ASN],
+        seed: int = 0,
+        weights: Optional[Mapping[str, float]] = None,
+    ) -> "GeographyModel":
+        """Assign regions at random with the given (or default) shares."""
+        weights = dict(weights or DEFAULT_REGION_WEIGHTS)
+        unknown = set(weights) - set(REGIONS)
+        if unknown:
+            raise ValueError(f"unknown regions in weights: {sorted(unknown)}")
+        names = sorted(weights)
+        values = [weights[name] for name in names]
+        rng = random.Random(seed)
+        assignment = {
+            asn: rng.choices(names, weights=values, k=1)[0]
+            for asn in sorted(ases)
+        }
+        return cls(assignment)
+
+    def region_of(self, asn: ASN) -> str:
+        """Region of ``asn``.
+
+        Raises:
+            KeyError: for ASes without an assignment.
+        """
+        return self._region_of[asn]
+
+    def knows(self, asn: ASN) -> bool:
+        """True if ``asn`` has a region assignment."""
+        return asn in self._region_of
+
+    def distance(self, a: ASN, b: ASN) -> int:
+        """Inter-region distance between two ASes (0 when co-located).
+
+        ASes without assignments are treated as distance 0 to everyone —
+        geography then simply does not influence their ties.
+        """
+        region_a = self._region_of.get(a)
+        region_b = self._region_of.get(b)
+        if region_a is None or region_b is None:
+            return 0
+        return _REGION_DISTANCE[REGIONS.index(region_a)][REGIONS.index(region_b)]
+
+    def census(self) -> Dict[str, int]:
+        """Number of ASes per region."""
+        counts = {region: 0 for region in REGIONS}
+        for region in self._region_of.values():
+            counts[region] += 1
+        return counts
+
+
+def region_distance(region_a: str, region_b: str) -> int:
+    """Distance between two region names.
+
+    Raises:
+        ValueError: for unknown regions.
+    """
+    try:
+        index_a = REGIONS.index(region_a)
+        index_b = REGIONS.index(region_b)
+    except ValueError as exc:
+        raise ValueError(f"unknown region in ({region_a!r}, {region_b!r})") from exc
+    return _REGION_DISTANCE[index_a][index_b]

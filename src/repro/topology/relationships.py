@@ -1,0 +1,108 @@
+"""AS business relationships and the Gao-Rexford preference model.
+
+Interdomain links are annotated with the standard relationship taxonomy
+(Gao 2001; Luckie et al. 2013):
+
+* **customer-to-provider (c2p)** — the customer pays the provider for
+  transit.  Stored once per link; the reverse direction is
+  provider-to-customer (p2c).
+* **peer-to-peer (p2p)** — settlement-free exchange of customer traffic.
+
+The *relationship of a route* at an AS is the relationship of the neighbor
+the route was learned from, seen from the AS's own point of view: a route
+learned from a customer is a ``CUSTOMER`` route, and so on.  Gao-Rexford
+local preference orders routes ``CUSTOMER > PEER > PROVIDER``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import RelationshipError
+
+
+class Relationship(enum.IntEnum):
+    """Relationship of a neighbor (and of routes learned from it).
+
+    Values are chosen so that *lower is more preferred*, matching the
+    sort-key convention used by :mod:`repro.bgp.route`.
+    """
+
+    CUSTOMER = 0
+    PEER = 1
+    PROVIDER = 2
+
+    @property
+    def local_preference(self) -> int:
+        """Conventional LocalPref value for routes with this relationship.
+
+        Higher is better, mirroring real-world operator conventions
+        (e.g. 300 for customer routes, 200 for peers, 100 for providers).
+        """
+        return {
+            Relationship.CUSTOMER: 300,
+            Relationship.PEER: 200,
+            Relationship.PROVIDER: 100,
+        }[self]
+
+    @property
+    def inverse(self) -> "Relationship":
+        """Relationship as seen from the other end of the link."""
+        if self is Relationship.CUSTOMER:
+            return Relationship.PROVIDER
+        if self is Relationship.PROVIDER:
+            return Relationship.CUSTOMER
+        return Relationship.PEER
+
+
+#: CAIDA serialization codes used in ``as-rel`` files: ``-1`` marks a
+#: provider-customer link (first AS is the provider), ``0`` a peering link.
+CAIDA_P2C = -1
+CAIDA_P2P = 0
+
+
+def relationship_from_caida(code: int) -> Relationship:
+    """Map a CAIDA as-rel code to the relationship of the *second* AS.
+
+    In a CAIDA line ``a|b|-1`` the first AS ``a`` is the provider, so from
+    ``a``'s point of view ``b`` is a ``CUSTOMER``.  ``a|b|0`` is peering.
+    The returned value is the relationship of ``b`` as seen from ``a``.
+    """
+    if code == CAIDA_P2C:
+        return Relationship.CUSTOMER
+    if code == CAIDA_P2P:
+        return Relationship.PEER
+    raise RelationshipError(f"unknown CAIDA relationship code {code}")
+
+
+def relationship_to_caida(relationship: Relationship) -> int:
+    """Map a relationship (of the second AS, seen from the first) to CAIDA code."""
+    if relationship is Relationship.CUSTOMER:
+        return CAIDA_P2C
+    if relationship is Relationship.PEER:
+        return CAIDA_P2P
+    raise RelationshipError(
+        "CAIDA files store provider-customer links from the provider side; "
+        "serialize PROVIDER relationships from the other endpoint"
+    )
+
+
+def export_allowed(learned_from: Relationship, export_to: Relationship) -> bool:
+    """Gao-Rexford (valley-free) export rule.
+
+    An AS exports routes learned from *customers* to everyone, and routes
+    learned from *peers or providers* only to its customers.
+
+    Args:
+        learned_from: relationship of the neighbor the route was learned
+            from (``CUSTOMER`` if the route came from a customer).  Routes
+            originated by the AS itself should be treated as ``CUSTOMER``
+            routes for export purposes (exported to everyone).
+        export_to: relationship of the neighbor the route would be sent to.
+
+    Returns:
+        True if the export complies with the valley-free rule.
+    """
+    if learned_from is Relationship.CUSTOMER:
+        return True
+    return export_to is Relationship.CUSTOMER

@@ -1,0 +1,95 @@
+"""Read and write AS topologies in CAIDA ``as-rel`` format.
+
+The format is one link per line, ``<a>|<b>|<code>`` where code ``-1``
+means ``a`` is the provider of ``b`` and ``0`` means ``a`` and ``b`` peer.
+Lines starting with ``#`` are comments.  This lets a real CAIDA snapshot
+be loaded in place of the synthetic generator, and lets generated
+topologies be inspected with standard tooling.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import IO, Union
+
+from ..errors import DataFormatError
+from .graph import ASGraph
+from .relationships import CAIDA_P2C, CAIDA_P2P, Relationship
+
+PathOrIO = Union[str, Path, IO[str]]
+
+
+def load_as_rel(source: PathOrIO) -> ASGraph:
+    """Load an :class:`ASGraph` from a CAIDA as-rel file or file object.
+
+    Raises:
+        DataFormatError: on malformed lines, unknown codes, or
+            contradictory duplicate links.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return _load(handle)
+    return _load(source)
+
+
+def _load(handle: IO[str]) -> ASGraph:
+    graph = ASGraph()
+    for lineno, raw_line in enumerate(handle, start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("|")
+        if len(parts) < 3:
+            raise DataFormatError(f"line {lineno}: expected a|b|code, got {line!r}")
+        try:
+            a, b, code = int(parts[0]), int(parts[1]), int(parts[2])
+        except ValueError as exc:
+            raise DataFormatError(f"line {lineno}: non-integer field in {line!r}") from exc
+        if code == CAIDA_P2C:
+            relationship_of_b = Relationship.CUSTOMER  # a is the provider
+        elif code == CAIDA_P2P:
+            relationship_of_b = Relationship.PEER
+        else:
+            raise DataFormatError(f"line {lineno}: unknown relationship code {code}")
+        try:
+            graph.add_link(a, b, relationship_of_b)
+        except Exception as exc:
+            raise DataFormatError(f"line {lineno}: {exc}") from exc
+    return graph
+
+
+def dump_as_rel(graph: ASGraph, destination: PathOrIO) -> None:
+    """Write ``graph`` in CAIDA as-rel format.
+
+    Provider-customer links are written from the provider side
+    (``provider|customer|-1``); peering links as ``a|b|0`` with a < b.
+    """
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            _dump(graph, handle)
+        return
+    _dump(graph, destination)
+
+
+def _dump(graph: ASGraph, handle: IO[str]) -> None:
+    handle.write("# as-rel written by repro.topology.serialization\n")
+    for a, b, relationship_of_b in graph.links():
+        if relationship_of_b is Relationship.CUSTOMER:
+            handle.write(f"{a}|{b}|{CAIDA_P2C}\n")  # a provides for b
+        elif relationship_of_b is Relationship.PROVIDER:
+            handle.write(f"{b}|{a}|{CAIDA_P2C}\n")  # b provides for a
+        else:
+            handle.write(f"{a}|{b}|{CAIDA_P2P}\n")
+
+
+def dumps_as_rel(graph: ASGraph) -> str:
+    """Serialize ``graph`` to an as-rel string."""
+    buffer = io.StringIO()
+    _dump(graph, buffer)
+    return buffer.getvalue()
+
+
+def loads_as_rel(text: str) -> ASGraph:
+    """Parse an as-rel string into an :class:`ASGraph`."""
+    return _load(io.StringIO(text))

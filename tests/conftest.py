@@ -1,0 +1,118 @@
+"""Shared fixtures: hand-built mini Internet, generated topologies, testbeds.
+
+The hand-built ``mini`` topology has fully known routing behaviour and is
+used for exact assertions on the BGP simulator; generated topologies and
+testbeds cover statistical/integration behaviour.  Expensive fixtures are
+session-scoped; tests must not mutate them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict
+
+import pytest
+
+from repro.bgp.policy import PolicyModel
+from repro.bgp.simulator import RoutingSimulator
+from repro.core.pipeline import Testbed, build_testbed
+from repro.topology.generator import GeneratedTopology, TopologyParams, generate_topology
+from repro.topology.graph import ASGraph
+from repro.topology.peering import OriginNetwork, PeeringLink, attach_origin
+from repro.topology.relationships import Relationship
+
+# Mini-topology AS numbers, used across BGP tests.
+ORIGIN = 47065
+P1, P2 = 100, 200  # the origin's transit providers
+T1, T2 = 1, 2      # tier-1s
+A, B, C = 301, 302, 303  # stubs
+M = 150            # mid AS between T1 and stub C
+
+
+@dataclass(frozen=True)
+class MiniInternet:
+    """Hand-built topology with two origin links and known catchments.
+
+    Structure (providers above, customers below; ``=`` is peering)::
+
+            T1 ========= T2
+           /  \\          |
+          P1   M         P2
+         / \\   \\        / \\
+        o   A    C      o   B
+
+    The origin ``o`` is a customer of P1 (link "l1") and P2 (link "l2").
+    A is P1's customer, B is P2's, C is M's (M is T1's customer).
+    """
+
+    graph: ASGraph
+    origin: OriginNetwork
+
+
+def build_mini_internet() -> MiniInternet:
+    """Construct the mini Internet from scratch (fresh, mutable)."""
+    graph = ASGraph()
+    graph.add_link(T1, T2, Relationship.PEER)
+    graph.add_link(P1, T1, Relationship.PROVIDER)
+    graph.add_link(M, T1, Relationship.PROVIDER)
+    graph.add_link(P2, T2, Relationship.PROVIDER)
+    graph.add_link(A, P1, Relationship.PROVIDER)
+    graph.add_link(B, P2, Relationship.PROVIDER)
+    graph.add_link(C, M, Relationship.PROVIDER)
+    graph.add_link(ORIGIN, P1, Relationship.PROVIDER)
+    graph.add_link(ORIGIN, P2, Relationship.PROVIDER)
+    origin = OriginNetwork(
+        ORIGIN,
+        [
+            PeeringLink(link_id="l1", provider=P1, provider_name="ProviderOne"),
+            PeeringLink(link_id="l2", provider=P2, provider_name="ProviderTwo"),
+        ],
+    )
+    return MiniInternet(graph=graph, origin=origin)
+
+
+@pytest.fixture()
+def mini() -> MiniInternet:
+    """Fresh mini Internet per test."""
+    return build_mini_internet()
+
+
+@pytest.fixture()
+def mini_simulator(mini: MiniInternet) -> RoutingSimulator:
+    """Simulator over the mini Internet with clean Gao-Rexford policies."""
+    policy = PolicyModel(
+        mini.graph,
+        seed=0,
+        policy_noise=0.0,
+        loop_prevention_disabled_fraction=0.0,
+    )
+    return RoutingSimulator(mini.graph, mini.origin, policy)
+
+
+@pytest.fixture(scope="session")
+def small_topology() -> GeneratedTopology:
+    """A small generated topology (shared; do not mutate)."""
+    return generate_topology(
+        TopologyParams(num_tier1=5, num_transit=40, num_stub=150, seed=11)
+    )
+
+
+@pytest.fixture(scope="session")
+def small_testbed() -> Testbed:
+    """A small fully-wired testbed (shared; do not mutate)."""
+    return build_testbed(
+        seed=5,
+        topology_params=TopologyParams(
+            num_tier1=5, num_transit=40, num_stub=160, seed=5
+        ),
+        num_links=5,
+        num_vantages=12,
+        num_probes=40,
+    )
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    """Seeded PRNG for tests needing randomness."""
+    return random.Random(1234)

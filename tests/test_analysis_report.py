@@ -1,0 +1,58 @@
+"""Tests for figure text/markdown rendering."""
+
+from repro.analysis.figures import FigureResult, Series
+from repro.analysis.report import figure_markdown, render_figure, render_series
+
+
+def sample_result(num_points=25):
+    points = tuple((float(i), float(i) * 2) for i in range(1, num_points + 1))
+    return FigureResult(
+        figure_id="figureX",
+        title="A Sample Figure",
+        xlabel="Things",
+        ylabel="Stuff",
+        series=[Series("first", points), Series("second", points[:3])],
+        notes=["shape holds"],
+    )
+
+
+class TestRenderSeries:
+    def test_samples_long_series(self):
+        series = sample_result().series[0]
+        text = render_series(series, max_points=5)
+        lines = [line for line in text.splitlines() if "x=" in line]
+        assert len(lines) == 5
+        # Endpoints kept.
+        assert "x=      1.00" in text
+        assert "x=     25.00" in text
+
+    def test_short_series_fully_rendered(self):
+        series = sample_result().series[1]
+        text = render_series(series, max_points=10)
+        assert text.count("x=") == 3
+
+
+class TestRenderFigure:
+    def test_contains_everything(self):
+        text = render_figure(sample_result())
+        assert "figureX" in text
+        assert "A Sample Figure" in text
+        assert "first" in text and "second" in text
+        assert "shape holds" in text
+
+    def test_axis_labels_present(self):
+        text = render_figure(sample_result())
+        assert "Things" in text and "Stuff" in text
+
+
+class TestMarkdown:
+    def test_markdown_structure(self):
+        text = figure_markdown(sample_result())
+        assert text.startswith("### figureX")
+        assert "- **first**:" in text
+        assert "> shape holds" in text
+
+    def test_markdown_samples_points(self):
+        text = figure_markdown(sample_result(), max_points=4)
+        first_line = [l for l in text.splitlines() if l.startswith("- **first**")][0]
+        assert first_line.count("(") == 4

@@ -1,0 +1,98 @@
+"""Tests for analysis statistics helpers."""
+
+import pytest
+
+from repro.analysis.stats import (
+    ccdf_points,
+    cdf_points,
+    fraction_at_least,
+    mean,
+    percentile,
+    summarize_sizes,
+)
+
+
+class TestCCDF:
+    def test_starts_at_one(self):
+        points = ccdf_points([1, 2, 3, 4])
+        assert points[0] == (1.0, 1.0)
+
+    def test_monotone_nonincreasing(self):
+        points = ccdf_points([1, 1, 2, 5, 5, 9])
+        ys = [y for _, y in points]
+        assert ys == sorted(ys, reverse=True)
+
+    def test_known_values(self):
+        points = dict(ccdf_points([1, 1, 2, 4]))
+        assert points[1.0] == 1.0
+        assert points[2.0] == pytest.approx(0.5)
+        assert points[4.0] == pytest.approx(0.25)
+
+    def test_single_value(self):
+        assert ccdf_points([7]) == [(7.0, 1.0)]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ccdf_points([])
+
+
+class TestCDF:
+    def test_ends_at_one(self):
+        points = cdf_points([0.1, 0.5, 0.9])
+        assert points[-1][1] == pytest.approx(1.0)
+
+    def test_monotone_nondecreasing(self):
+        points = cdf_points([3.0, 1.0, 2.0, 1.0])
+        ys = [y for _, y in points]
+        assert ys == sorted(ys)
+
+    def test_known_values(self):
+        points = dict(cdf_points([1.0, 2.0, 2.0, 4.0]))
+        assert points[1.0] == pytest.approx(0.25)
+        assert points[2.0] == pytest.approx(0.75)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            cdf_points([])
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+    def test_bounds(self):
+        values = [4.0, 1.0, 9.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 9.0
+
+    def test_single_value(self):
+        assert percentile([42.0], 73) == 42.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+
+class TestMisc:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_fraction_at_least(self):
+        assert fraction_at_least([1, 2, 3, 4], 3) == 0.5
+        assert fraction_at_least([1], 5) == 0.0
+        with pytest.raises(ValueError):
+            fraction_at_least([], 1)
+
+    def test_summarize_sizes(self):
+        summary = summarize_sizes([1, 1, 1, 5])
+        assert summary["count"] == 4.0
+        assert summary["mean"] == 2.0
+        assert summary["max"] == 5.0
+        assert summary["singleton_fraction"] == 0.75

@@ -1,0 +1,56 @@
+"""Tests for table renderers."""
+
+from repro.analysis.tables import TABLE2_ROWS, Table, table1, table2
+
+
+class TestTableRendering:
+    def test_render_aligns_columns(self):
+        table = Table(
+            table_id="t",
+            title="Title",
+            headers=("A", "BBBB"),
+            rows=[("xxxxx", "y")],
+        )
+        lines = table.render().splitlines()
+        assert lines[0] == "Title"
+        assert "A" in lines[1] and "BBBB" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "xxxxx" in lines[3]
+
+
+class TestTable1:
+    def test_one_row_per_link(self, small_testbed):
+        table = table1(small_testbed)
+        assert len(table.rows) == len(small_testbed.origin.links)
+
+    def test_rows_mention_provider_asns(self, small_testbed):
+        table = table1(small_testbed)
+        for link, row in zip(small_testbed.origin.links, table.rows):
+            assert row[0] == link.link_id
+            assert f"AS{link.provider}" in row[1]
+
+    def test_renders(self, small_testbed):
+        text = table1(small_testbed).render()
+        assert "Mux" in text and "Transit Provider" in text
+
+
+class TestTable2:
+    def test_matches_paper_rows(self):
+        table = table2()
+        assert len(table.rows) == 6
+        approaches = [row[0] for row in table.rows]
+        assert approaches[0] == "Manual"
+        assert approaches[-1] == "Routing (this paper)"
+
+    def test_this_papers_row_claims(self):
+        this_paper = TABLE2_ROWS[-1]
+        # No cooperation, no router updates, no overhead, AS precision.
+        assert this_paper[2] == "No"
+        assert this_paper[3] == "No"
+        assert this_paper[4] == "No"
+        assert this_paper[5] == "AS"
+
+    def test_renders_all_columns(self):
+        text = table2().render()
+        assert "Identification precision" in text
+        assert "Digest-Based" in text

@@ -1,0 +1,97 @@
+"""Tests for the terminal plotter."""
+
+import pytest
+
+from repro.analysis.ascii_plot import (
+    FIGURE_AXES,
+    PlotOptions,
+    plot_figure,
+    plot_series,
+)
+from repro.analysis.figures import FigureResult, Series
+
+
+def series(name="s", points=((1.0, 1.0), (2.0, 4.0), (3.0, 9.0))):
+    return Series(name, tuple(points))
+
+
+class TestOptions:
+    def test_rejects_tiny_raster(self):
+        with pytest.raises(ValueError):
+            PlotOptions(width=2)
+        with pytest.raises(ValueError):
+            PlotOptions(height=1)
+
+
+class TestPlotSeries:
+    def test_contains_glyphs_and_legend(self):
+        text = plot_series([series("alpha"), series("beta", ((1.0, 2.0),))])
+        assert "o alpha" in text
+        assert "x beta" in text
+        assert "|" in text and "+" in text
+
+    def test_raster_dimensions(self):
+        options = PlotOptions(width=20, height=6)
+        text = plot_series([series()], options)
+        plot_lines = [line for line in text.splitlines() if "|" in line]
+        assert len(plot_lines) == 6
+        for line in plot_lines:
+            assert len(line.split("|", 1)[1]) == 20
+
+    def test_axis_labels_present(self):
+        text = plot_series([series(points=((1.0, 5.0), (10.0, 50.0)))])
+        assert "50" in text  # y max
+        assert "10" in text  # x max
+
+    def test_log_axes(self):
+        options = PlotOptions(log_x=True, log_y=True)
+        text = plot_series(
+            [series(points=((1.0, 0.001), (1000.0, 1.0)))], options
+        )
+        assert "1.0e-03" in text or "0.00" in text
+
+    def test_log_axis_rejects_nonpositive(self):
+        options = PlotOptions(log_y=True)
+        with pytest.raises(ValueError, match="positive"):
+            plot_series([series(points=((1.0, 0.0),))], options)
+
+    def test_constant_series_plot(self):
+        text = plot_series([series(points=((1.0, 2.0), (5.0, 2.0)))])
+        assert "o" in text
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            plot_series([])
+        with pytest.raises(ValueError):
+            plot_series([Series("empty", ())])
+
+
+class TestPlotFigure:
+    def figure(self):
+        return FigureResult(
+            figure_id="figure3",
+            title="Example",
+            xlabel="X",
+            ylabel="Y",
+            series=[series(points=((1.0, 1.0), (10.0, 0.1), (100.0, 0.0)))],
+        )
+
+    def test_uses_paper_axes(self):
+        assert FIGURE_AXES["figure3"].log_x and FIGURE_AXES["figure3"].log_y
+        assert not FIGURE_AXES["figure7"].log_x
+
+    def test_filters_log_incompatible_points(self):
+        # The (100, 0.0) point would break the log-y axis; it is dropped
+        # point-wise instead of failing.
+        text = plot_figure(self.figure())
+        assert "Example" in text
+        assert "o" in text
+
+    def test_header_contains_axis_labels(self):
+        text = plot_figure(self.figure())
+        assert "[X vs Y]" in text
+
+    def test_explicit_options_override(self):
+        text = plot_figure(self.figure(), PlotOptions(width=30, height=8))
+        plot_lines = [line for line in text.splitlines() if "|" in line]
+        assert len(plot_lines) == 8

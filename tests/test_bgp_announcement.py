@@ -1,0 +1,140 @@
+"""Tests for announcement configurations ⟨A; P; Q⟩."""
+
+import pytest
+
+from repro.bgp.announcement import (
+    DEFAULT_PREPEND_COUNT,
+    AnnouncementConfig,
+    anycast_all,
+)
+from repro.errors import AnnouncementError
+
+
+class TestValidation:
+    def test_minimal_config(self):
+        config = AnnouncementConfig(announced=frozenset(["l1"]))
+        assert config.announced == frozenset(["l1"])
+        assert not config.uses_prepending
+        assert not config.uses_poisoning
+
+    def test_rejects_empty_announcement(self):
+        with pytest.raises(AnnouncementError):
+            AnnouncementConfig(announced=frozenset())
+
+    def test_rejects_prepend_outside_announced(self):
+        with pytest.raises(AnnouncementError, match="unannounced"):
+            AnnouncementConfig(
+                announced=frozenset(["l1"]), prepended=frozenset(["l2"])
+            )
+
+    def test_rejects_poison_outside_announced(self):
+        with pytest.raises(AnnouncementError, match="unannounced"):
+            AnnouncementConfig(
+                announced=frozenset(["l1"]), poisoned={"l2": frozenset([9])}
+            )
+
+    def test_rejects_bad_prepend_count(self):
+        with pytest.raises(AnnouncementError):
+            AnnouncementConfig(announced=frozenset(["l1"]), prepend_count=0)
+
+    def test_accepts_plain_sets_and_freezes(self):
+        config = AnnouncementConfig(
+            announced={"l1", "l2"}, prepended={"l1"}, poisoned={"l2": {5, 6}}
+        )
+        assert isinstance(config.announced, frozenset)
+        assert isinstance(config.poisoned["l2"], frozenset)
+
+    def test_empty_poison_sets_dropped(self):
+        config = AnnouncementConfig(
+            announced=frozenset(["l1"]), poisoned={"l1": frozenset()}
+        )
+        assert not config.uses_poisoning
+
+
+class TestASPathConstruction:
+    def test_plain_path_is_origin_only(self):
+        config = AnnouncementConfig(announced=frozenset(["l1"]))
+        assert config.as_path_for_link(47065, "l1") == (47065,)
+
+    def test_prepending_repeats_origin(self):
+        config = AnnouncementConfig(
+            announced=frozenset(["l1"]),
+            prepended=frozenset(["l1"]),
+            prepend_count=4,
+        )
+        assert config.as_path_for_link(47065, "l1") == (47065,) * 5
+
+    def test_prepending_applies_only_to_prepended_links(self):
+        config = AnnouncementConfig(
+            announced=frozenset(["l1", "l2"]), prepended=frozenset(["l1"])
+        )
+        assert len(config.as_path_for_link(47065, "l1")) == 1 + DEFAULT_PREPEND_COUNT
+        assert config.as_path_for_link(47065, "l2") == (47065,)
+
+    def test_poison_stuffing_surrounds_target(self):
+        """PEERING requires each poisoned AS surrounded by the origin ASN."""
+        config = AnnouncementConfig(
+            announced=frozenset(["l1"]), poisoned={"l1": frozenset([666])}
+        )
+        assert config.as_path_for_link(47065, "l1") == (47065, 666, 47065)
+
+    def test_multiple_poisons_sorted(self):
+        config = AnnouncementConfig(
+            announced=frozenset(["l1"]), poisoned={"l1": frozenset([9, 5])}
+        )
+        assert config.as_path_for_link(47065, "l1") == (47065, 5, 47065, 9, 47065)
+
+    def test_prepend_and_poison_combine(self):
+        config = AnnouncementConfig(
+            announced=frozenset(["l1"]),
+            prepended=frozenset(["l1"]),
+            prepend_count=2,
+            poisoned={"l1": frozenset([7])},
+        )
+        assert config.as_path_for_link(1, "l1") == (1, 1, 1, 7, 1)
+
+    def test_unannounced_link_raises(self):
+        config = AnnouncementConfig(announced=frozenset(["l1"]))
+        with pytest.raises(AnnouncementError):
+            config.as_path_for_link(1, "l2")
+
+
+class TestIdentityAndDescription:
+    def test_key_ignores_label(self):
+        a = AnnouncementConfig(announced=frozenset(["l1"]), label="x")
+        b = AnnouncementConfig(announced=frozenset(["l1"]), label="y")
+        assert a.key() == b.key()
+
+    def test_key_distinguishes_prepending(self):
+        a = AnnouncementConfig(announced=frozenset(["l1", "l2"]))
+        b = AnnouncementConfig(
+            announced=frozenset(["l1", "l2"]), prepended=frozenset(["l1"])
+        )
+        assert a.key() != b.key()
+
+    def test_key_distinguishes_poisons(self):
+        a = AnnouncementConfig(announced=frozenset(["l1"]), poisoned={"l1": {5}})
+        b = AnnouncementConfig(announced=frozenset(["l1"]), poisoned={"l1": {6}})
+        assert a.key() != b.key()
+
+    def test_describe_mentions_everything(self):
+        config = AnnouncementConfig(
+            announced=frozenset(["l1", "l2"]),
+            prepended=frozenset(["l2"]),
+            poisoned={"l1": frozenset([5])},
+            label="demo",
+        )
+        text = config.describe()
+        assert "demo" in text and "l1" in text and "l2" in text and "5" in text
+
+    def test_poisons_for_link_default_empty(self):
+        config = AnnouncementConfig(announced=frozenset(["l1"]))
+        assert config.poisons_for_link("l1") == frozenset()
+
+
+class TestAnycastAll:
+    def test_announces_everything(self):
+        config = anycast_all(["l2", "l1"])
+        assert config.announced == frozenset(["l1", "l2"])
+        assert config.phase == "locations"
+        assert not config.uses_prepending and not config.uses_poisoning

@@ -1,0 +1,107 @@
+"""Tests for the policy model: LocalPref, deviants, import filters."""
+
+import pytest
+
+from repro.bgp.policy import PolicyModel
+from repro.topology.relationships import Relationship
+from tests.conftest import ORIGIN, P1, P2, T1, T2, build_mini_internet
+
+
+@pytest.fixture()
+def graph():
+    return build_mini_internet().graph
+
+
+class TestLocalPref:
+    def test_clean_model_is_gao_rexford(self, graph):
+        policy = PolicyModel(graph, policy_noise=0.0)
+        for asn in graph.ases:
+            assert policy.follows_gao_rexford(asn)
+            assert policy.local_pref(asn, Relationship.CUSTOMER) == 300
+            assert policy.local_pref(asn, Relationship.PEER) == 200
+            assert policy.local_pref(asn, Relationship.PROVIDER) == 100
+
+    def test_full_noise_makes_everyone_deviant(self, graph):
+        policy = PolicyModel(graph, policy_noise=1.0)
+        assert not any(policy.follows_gao_rexford(asn) for asn in graph.ases)
+
+    def test_noise_fraction_roughly_respected(self):
+        from repro.topology.generator import TopologyParams, generate_topology
+
+        topo = generate_topology(TopologyParams(num_stub=400, seed=2))
+        policy = PolicyModel(topo.graph, seed=3, policy_noise=0.2)
+        deviants = sum(
+            1 for asn in topo.graph.ases if not policy.follows_gao_rexford(asn)
+        )
+        fraction = deviants / len(topo.graph)
+        assert 0.1 < fraction < 0.3
+
+    def test_deterministic_per_seed(self, graph):
+        a = PolicyModel(graph, seed=7, policy_noise=0.5)
+        b = PolicyModel(graph, seed=7, policy_noise=0.5)
+        for asn in graph.ases:
+            assert a.follows_gao_rexford(asn) == b.follows_gao_rexford(asn)
+
+    def test_rejects_bad_fractions(self, graph):
+        with pytest.raises(ValueError):
+            PolicyModel(graph, policy_noise=1.5)
+        with pytest.raises(ValueError):
+            PolicyModel(graph, loop_prevention_disabled_fraction=-0.1)
+
+
+class TestImportFilters:
+    def test_loop_in_transit_always_rejected(self, graph):
+        policy = PolicyModel(graph, loop_prevention_disabled_fraction=1.0)
+        # Even with loop prevention "disabled", a genuine forwarding loop
+        # (holder in the transited portion) is rejected.
+        assert not policy.accepts(
+            T1, (T1, P1), (ORIGIN,), Relationship.CUSTOMER
+        )
+
+    def test_poison_stuffing_rejected_by_default(self, graph):
+        policy = PolicyModel(graph, loop_prevention_disabled_fraction=0.0)
+        assert not policy.accepts(
+            T1, (P1,), (ORIGIN, T1, ORIGIN), Relationship.CUSTOMER
+        )
+
+    def test_poison_stuffing_accepted_when_disabled(self, graph):
+        policy = PolicyModel(graph, loop_prevention_disabled_fraction=1.0)
+        assert policy.accepts(
+            T1, (P1,), (ORIGIN, T1, ORIGIN), Relationship.CUSTOMER
+        )
+
+    def test_clean_path_accepted(self, graph):
+        policy = PolicyModel(graph)
+        assert policy.accepts(T1, (P1,), (ORIGIN,), Relationship.CUSTOMER)
+
+    def test_tier1_filters_customer_route_with_other_tier1(self, graph):
+        policy = PolicyModel(graph, tier1_leak_filtering=True)
+        assert T1 in policy.tier1_ases and T2 in policy.tier1_ases
+        # T1 hears a customer route whose path contains T2: looks like a
+        # route leak (or a poisoned path) — filtered.
+        assert not policy.accepts(
+            T1, (P1,), (ORIGIN, T2, ORIGIN), Relationship.CUSTOMER
+        )
+
+    def test_tier1_filter_spares_peer_routes(self, graph):
+        policy = PolicyModel(graph, tier1_leak_filtering=True)
+        assert policy.accepts(T1, (T2, P2), (ORIGIN,), Relationship.PEER)
+
+    def test_tier1_filter_can_be_disabled(self, graph):
+        policy = PolicyModel(graph, tier1_leak_filtering=False)
+        assert policy.accepts(
+            T1, (P1,), (ORIGIN, T2, ORIGIN), Relationship.CUSTOMER
+        )
+
+    def test_non_tier1_not_subject_to_leak_filter(self, graph):
+        policy = PolicyModel(graph, tier1_leak_filtering=True)
+        assert policy.accepts(
+            P1, (), (ORIGIN, T2, ORIGIN), Relationship.CUSTOMER
+        )
+
+
+class TestExportFilter:
+    def test_exports_delegate_to_valley_free_rule(self, graph):
+        policy = PolicyModel(graph)
+        assert policy.exports(Relationship.CUSTOMER, Relationship.PROVIDER)
+        assert not policy.exports(Relationship.PROVIDER, Relationship.PEER)

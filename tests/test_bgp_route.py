@@ -1,0 +1,78 @@
+"""Tests for route objects and the decision key."""
+
+from repro.bgp.route import Route, best_route, stable_tiebreak
+from repro.topology.relationships import Relationship
+
+
+def make_route(path, link="l1", learned_from=None, relationship=None, pref=None):
+    relationship = relationship or Relationship.CUSTOMER
+    return Route(
+        as_path=tuple(path),
+        link_id=link,
+        learned_from=learned_from if learned_from is not None else path[0],
+        relationship=relationship,
+        local_pref=pref if pref is not None else relationship.local_preference,
+    )
+
+
+class TestStableTiebreak:
+    def test_deterministic(self):
+        assert stable_tiebreak(1, 2, 0) == stable_tiebreak(1, 2, 0)
+
+    def test_depends_on_pair(self):
+        assert stable_tiebreak(1, 2, 0) != stable_tiebreak(1, 3, 0)
+
+    def test_depends_on_salt(self):
+        assert stable_tiebreak(1, 2, 0) != stable_tiebreak(1, 2, 1)
+
+
+class TestDecision:
+    def test_higher_localpref_wins(self):
+        customer = make_route([10, 47065], relationship=Relationship.CUSTOMER)
+        provider = make_route([20, 47065], relationship=Relationship.PROVIDER)
+        assert best_route(5, [provider, customer], salt=0) == customer
+
+    def test_shorter_path_wins_within_class(self):
+        short = make_route([10, 47065])
+        long = make_route([20, 99, 47065])
+        assert best_route(5, [long, short], salt=0) == short
+
+    def test_prepending_counts_toward_length(self):
+        plain = make_route([10, 47065])
+        prepended = make_route([20, 47065, 47065, 47065])
+        assert best_route(5, [prepended, plain], salt=0) == plain
+
+    def test_tiebreak_is_stable(self):
+        a = make_route([10, 47065])
+        b = make_route([20, 47065])
+        winner = best_route(5, [a, b], salt=0)
+        assert best_route(5, [b, a], salt=0) == winner
+
+    def test_tiebreak_varies_across_holders(self):
+        """Different holders may break the same tie differently — the
+        'arbitrary router state' prepending is designed to override."""
+        a = make_route([10, 47065])
+        b = make_route([20, 47065])
+        winners = {
+            best_route(holder, [a, b], salt=0).learned_from
+            for holder in range(1, 200)
+        }
+        assert winners == {10, 20}
+
+    def test_no_candidates(self):
+        assert best_route(5, [], salt=0) is None
+
+
+class TestRouteHelpers:
+    def test_path_length_counts_prepends(self):
+        route = make_route([10, 47065, 47065, 47065])
+        assert route.path_length == 4
+
+    def test_extended_by(self):
+        route = make_route([10, 47065])
+        assert route.extended_by(7) == (7, 10, 47065)
+
+    def test_contains_loop_for(self):
+        route = make_route([10, 666, 47065])
+        assert route.contains_loop_for(666)
+        assert not route.contains_loop_for(5)

@@ -1,0 +1,257 @@
+"""Tests for BGP route propagation on the hand-built mini Internet.
+
+Mini-Internet structure (see conftest)::
+
+        T1 ========= T2
+       /  \\          |
+      P1   M         P2
+     / \\   \\        / \\
+    o   A    C      o   B
+"""
+
+import pytest
+
+from repro.bgp.announcement import AnnouncementConfig, anycast_all
+from repro.bgp.policy import PolicyModel
+from repro.bgp.simulator import RoutingSimulator
+from repro.errors import SimulationError
+from repro.topology.relationships import Relationship
+from tests.conftest import A, B, C, M, ORIGIN, P1, P2, T1, T2, build_mini_internet
+
+
+def simulate(config, **policy_kwargs):
+    mini = build_mini_internet()
+    defaults = dict(policy_noise=0.0, loop_prevention_disabled_fraction=0.0)
+    defaults.update(policy_kwargs)
+    policy = PolicyModel(mini.graph, seed=0, **defaults)
+    simulator = RoutingSimulator(mini.graph, mini.origin, policy)
+    return simulator.simulate(config)
+
+
+BOTH = anycast_all(["l1", "l2"])
+
+
+class TestAnycastBaseline:
+    def test_everyone_has_a_route(self):
+        outcome = simulate(BOTH)
+        assert outcome.covered_ases == frozenset(
+            {P1, P2, T1, T2, A, B, C, M}
+        )
+        assert outcome.converged
+
+    def test_catchments_partition_sources(self):
+        outcome = simulate(BOTH)
+        union = outcome.catchments["l1"] | outcome.catchments["l2"]
+        assert union == outcome.covered_ases
+        assert not outcome.catchments["l1"] & outcome.catchments["l2"]
+
+    def test_near_sources_use_near_link(self):
+        outcome = simulate(BOTH)
+        assert outcome.catchment_of(A) == "l1"
+        assert outcome.catchment_of(P1) == "l1"
+        assert outcome.catchment_of(B) == "l2"
+        assert outcome.catchment_of(P2) == "l2"
+
+    def test_customer_route_beats_peer_route_at_tier1(self):
+        # T1 hears origin via customer P1 (and M) and via peer T2; the
+        # customer route must win.
+        outcome = simulate(BOTH)
+        route = outcome.route(T1)
+        assert route.relationship is Relationship.CUSTOMER
+        assert route.learned_from == P1
+        assert outcome.catchment_of(T1) == "l1"
+
+    def test_c_routes_through_its_transit_chain(self):
+        # C's only exit is M → T1 → P1 → origin (valley-free).
+        outcome = simulate(BOTH)
+        assert outcome.forwarding_path(C) == (C, M, T1, P1, ORIGIN)
+        assert outcome.catchment_of(C) == "l1"
+
+    def test_as_paths_end_at_origin(self):
+        outcome = simulate(BOTH)
+        for asn, route in outcome.routes.items():
+            assert route.as_path[-1] == ORIGIN
+
+    def test_forwarding_paths_loop_free(self):
+        outcome = simulate(BOTH)
+        for asn in outcome.covered_ases:
+            path = outcome.forwarding_path(asn)
+            assert len(path) == len(set(path))
+            assert path[-1] == ORIGIN
+
+    def test_forwarding_path_of_origin(self):
+        outcome = simulate(BOTH)
+        assert outcome.forwarding_path(ORIGIN) == (ORIGIN,)
+
+    def test_forwarding_path_unrouted_raises(self):
+        outcome = simulate(AnnouncementConfig(announced=frozenset(["l2"])))
+        # With only l2 announced, A still reaches via T1–T2 peering?  No:
+        # peer routes are not exported to peers, so T1 gets the route from
+        # T2 only if ... verify below in withdrawal tests; here just check
+        # unrouted ASes raise.
+        unrouted = [
+            asn for asn in (A, P1, T1, M, C) if outcome.route(asn) is None
+        ]
+        for asn in unrouted:
+            with pytest.raises(SimulationError):
+                outcome.forwarding_path(asn)
+
+
+class TestWithdrawal:
+    def test_withdraw_l1_moves_everyone_reachable_to_l2(self):
+        outcome = simulate(AnnouncementConfig(announced=frozenset(["l2"])))
+        for asn, route in outcome.routes.items():
+            assert route.link_id == "l2"
+        # B and P2 are certainly covered.
+        assert outcome.catchment_of(B) == "l2"
+        assert outcome.catchment_of(P2) == "l2"
+
+    def test_valley_free_limits_reachability_on_withdrawal(self):
+        # Announcing only through l2: T2 learns from customer P2 and
+        # exports to peer T1 (customer route → exported everywhere).
+        # T1 then exports to customers P1 and M (peer route → customers
+        # only), so A and C regain reachability through the valley-free
+        # path, and everyone is covered.
+        outcome = simulate(AnnouncementConfig(announced=frozenset(["l2"])))
+        assert outcome.catchment_of(T1) == "l2"
+        assert outcome.catchment_of(A) == "l2"
+        assert outcome.forwarding_path(A) == (A, P1, T1, T2, P2, ORIGIN)
+
+    def test_withdrawal_uncovers_alternate_routes(self):
+        baseline = simulate(BOTH)
+        withdrawn = simulate(AnnouncementConfig(announced=frozenset(["l2"])))
+        moved = [
+            asn
+            for asn in baseline.covered_ases
+            if withdrawn.catchment_of(asn) is not None
+            and withdrawn.catchment_of(asn) != baseline.catchment_of(asn)
+        ]
+        # Everyone previously on l1 had to move.
+        assert set(moved) >= {A, P1, T1, M, C}
+
+
+class TestPrepending:
+    def test_prepending_shifts_tiebroken_ases(self):
+        """T2 hears customer route via P2 (length 2) and peer route via T1;
+        customer wins regardless.  But B is firmly l2 and A firmly l1;
+        the AS that can flip via length is T1/T2's peer choice — build a
+        tie instead at the tier-1s using prepending on l1 and check that
+        catchments change somewhere."""
+        baseline = simulate(BOTH)
+        prepended = simulate(
+            AnnouncementConfig(
+                announced=frozenset(["l1", "l2"]),
+                prepended=frozenset(["l1"]),
+                prepend_count=4,
+            )
+        )
+        # Prepending never breaks coverage.
+        assert prepended.covered_ases == baseline.covered_ases
+        # The prepended announcement inflates l1 paths: no AS that kept a
+        # same-relationship choice should now prefer a *longer* l1 route.
+        for asn in prepended.covered_ases:
+            route = prepended.route(asn)
+            if route.link_id == "l1":
+                # Everyone still on l1 is there because LocalPref pins them
+                # (customer routes at P1/T1's cone), not path length.
+                assert route.relationship in (
+                    Relationship.CUSTOMER,
+                    Relationship.PROVIDER,
+                )
+
+    def test_prepend_increases_observed_path_length(self):
+        prepended = simulate(
+            AnnouncementConfig(
+                announced=frozenset(["l1"]),
+                prepended=frozenset(["l1"]),
+                prepend_count=4,
+            )
+        )
+        route = prepended.route(P1)
+        assert route.as_path == (ORIGIN,) * 5
+
+
+class TestPoisoning:
+    def test_poisoned_as_discards_route(self):
+        # Poison T1 on l1; announce only l1.  T1 must reject the route and
+        # everything behind T1 (M, C) loses reachability; A keeps l1 via P1.
+        outcome = simulate(
+            AnnouncementConfig(
+                announced=frozenset(["l1"]), poisoned={"l1": frozenset([T1])}
+            ),
+            tier1_leak_filtering=False,
+        )
+        assert outcome.route(T1) is None
+        assert outcome.route(M) is None
+        assert outcome.route(C) is None
+        assert outcome.catchment_of(A) == "l1"
+
+    def test_poisoning_moves_catchments_in_anycast(self):
+        # Poison T1 on l1 while announcing both links: T1 and its cone
+        # must switch to l2 (through T2).
+        baseline = simulate(BOTH, tier1_leak_filtering=False)
+        poisoned = simulate(
+            AnnouncementConfig(
+                announced=frozenset(["l1", "l2"]),
+                poisoned={"l1": frozenset([T1])},
+            ),
+            tier1_leak_filtering=False,
+        )
+        assert baseline.catchment_of(T1) == "l1"
+        assert poisoned.catchment_of(T1) == "l2"
+        assert poisoned.catchment_of(C) == "l2"
+        # A is P1's customer: still l1.
+        assert poisoned.catchment_of(A) == "l1"
+
+    def test_disabled_loop_prevention_ignores_poison(self):
+        outcome = simulate(
+            AnnouncementConfig(
+                announced=frozenset(["l1"]), poisoned={"l1": frozenset([T1])}
+            ),
+            loop_prevention_disabled_fraction=1.0,
+            tier1_leak_filtering=False,
+        )
+        assert outcome.route(T1) is not None
+
+    def test_tier1_leak_filter_blocks_tier1_poison_propagation(self):
+        # Poisoning T2 on l1: the poisoned path contains tier-1 T2, so
+        # tier-1 T1 (receiving it from customer P1) filters it.
+        outcome = simulate(
+            AnnouncementConfig(
+                announced=frozenset(["l1"]), poisoned={"l1": frozenset([T2])}
+            ),
+            tier1_leak_filtering=True,
+        )
+        assert outcome.route(T1) is None  # filtered, not just poisoned
+        assert outcome.route(A) is not None  # below the filter, unaffected
+
+    def test_poison_stuffing_visible_in_as_path(self):
+        outcome = simulate(
+            AnnouncementConfig(
+                announced=frozenset(["l1"]), poisoned={"l1": frozenset([666])}
+            ),
+        )
+        assert outcome.route(P1).as_path == (ORIGIN, 666, ORIGIN)
+
+
+class TestSimulatorValidation:
+    def test_unknown_link_rejected(self):
+        with pytest.raises(SimulationError, match="unknown links"):
+            simulate(AnnouncementConfig(announced=frozenset(["nope"])))
+
+    def test_origin_must_be_attached(self):
+        mini = build_mini_internet()
+        mini.graph.remove_link(ORIGIN, P1)
+        policy = PolicyModel(mini.graph, policy_noise=0.0)
+        with pytest.raises(SimulationError, match="not linked"):
+            RoutingSimulator(mini.graph, mini.origin, policy)
+
+    def test_max_passes_must_be_positive(self):
+        mini = build_mini_internet()
+        with pytest.raises(SimulationError):
+            RoutingSimulator(mini.graph, mini.origin, max_passes=0)
+
+    def test_outcome_records_convergence_stats(self):
+        outcome = simulate(BOTH)
+        assert outcome.passes >= 2
+        assert outcome.decision_changes >= len(outcome.covered_ases)

@@ -1,0 +1,57 @@
+"""Tests for the end-to-end measurement campaign."""
+
+import pytest
+
+from repro.bgp.announcement import AnnouncementConfig, anycast_all
+
+
+def anycast_outcome(testbed):
+    return testbed.simulator.simulate(anycast_all(testbed.origin.link_ids))
+
+
+class TestCampaign:
+    def test_measures_a_substantial_universe(self, small_testbed):
+        measurement = small_testbed.campaign.measure(anycast_outcome(small_testbed))
+        # Feeds + probes cover many ASes via on-path observations.
+        assert len(measurement.assignment) > 50
+        assert measurement.bgp_paths_observed > 0
+        assert measurement.traceroutes_observed > 0
+
+    def test_assignments_mostly_match_ground_truth(self, small_testbed):
+        outcome = anycast_outcome(small_testbed)
+        measurement = small_testbed.campaign.measure(outcome)
+        agree = sum(
+            1
+            for source, link in measurement.assignment.items()
+            if outcome.catchment_of(source) == link
+        )
+        assert agree / len(measurement.assignment) > 0.9
+
+    def test_origin_not_a_source(self, small_testbed):
+        measurement = small_testbed.campaign.measure(anycast_outcome(small_testbed))
+        assert small_testbed.origin.asn not in measurement.assignment
+
+    def test_multi_catchment_fraction_small_but_tracked(self, small_testbed):
+        measurement = small_testbed.campaign.measure(anycast_outcome(small_testbed))
+        assert 0.0 <= measurement.stats.multi_catchment_fraction < 0.3
+
+    def test_withdrawal_changes_measured_assignments(self, small_testbed):
+        links = small_testbed.origin.link_ids
+        full = small_testbed.campaign.measure(anycast_outcome(small_testbed))
+        partial_outcome = small_testbed.simulator.simulate(
+            AnnouncementConfig(announced=frozenset(links[1:]))
+        )
+        partial = small_testbed.campaign.measure(partial_outcome)
+        withdrawn_link = links[0]
+        assert withdrawn_link not in set(partial.assignment.values())
+        moved = [
+            source
+            for source, link in full.assignment.items()
+            if link == withdrawn_link and partial.assignment.get(source)
+        ]
+        assert moved  # previously-l0 sources observed elsewhere now
+
+    def test_assignment_links_are_real(self, small_testbed):
+        measurement = small_testbed.campaign.measure(anycast_outcome(small_testbed))
+        valid_links = set(small_testbed.origin.link_ids)
+        assert set(measurement.assignment.values()) <= valid_links

@@ -1,0 +1,139 @@
+"""Tests for catchment conflict resolution and smax imputation."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measurement.catchment import (
+    KIND_BGP,
+    KIND_TRACEROUTE,
+    CatchmentHistory,
+    CatchmentObservation,
+    assignment_to_catchments,
+    resolve_observations,
+)
+
+
+def obs(source, link, kind=KIND_BGP):
+    return CatchmentObservation(source_as=source, link=link, kind=kind)
+
+
+class TestObservation:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(MeasurementError):
+            CatchmentObservation(source_as=1, link="l1", kind="dns")
+
+
+class TestResolution:
+    def test_single_observation(self):
+        assignment, stats = resolve_observations([obs(1, "l1")])
+        assert assignment == {1: "l1"}
+        assert stats.multi_catchment_fraction == 0.0
+
+    def test_bgp_outranks_traceroute(self):
+        """§IV-c: 'we give higher priority to BGP measurements'."""
+        observations = [
+            obs(1, "l1", KIND_BGP),
+            obs(1, "l2", KIND_TRACEROUTE),
+            obs(1, "l2", KIND_TRACEROUTE),
+            obs(1, "l2", KIND_TRACEROUTE),
+        ]
+        assignment, stats = resolve_observations(observations)
+        assert assignment[1] == "l1"
+        assert stats.sources_in_multiple_catchments == 1
+
+    def test_majority_among_same_kind(self):
+        observations = [
+            obs(1, "l1", KIND_TRACEROUTE),
+            obs(1, "l2", KIND_TRACEROUTE),
+            obs(1, "l2", KIND_TRACEROUTE),
+        ]
+        assignment, _ = resolve_observations(observations)
+        assert assignment[1] == "l2"
+
+    def test_tie_breaks_by_link_id(self):
+        observations = [obs(1, "l2"), obs(1, "l1")]
+        assignment, _ = resolve_observations(observations)
+        assert assignment[1] == "l1"
+
+    def test_multi_catchment_fraction(self):
+        """Paper reports 2.28% of ASes in multiple catchments on average."""
+        observations = [
+            obs(1, "l1"),
+            obs(1, "l2"),  # source 1: conflicted
+            obs(2, "l1"),
+            obs(2, "l1"),  # source 2: consistent
+        ]
+        _, stats = resolve_observations(observations)
+        assert stats.sources_observed == 2
+        assert stats.multi_catchment_fraction == pytest.approx(0.5)
+
+    def test_empty_observations(self):
+        assignment, stats = resolve_observations([])
+        assert assignment == {}
+        assert stats.sources_observed == 0
+        assert stats.multi_catchment_fraction == 0.0
+
+
+class TestAssignmentToCatchments:
+    def test_inversion(self):
+        catchments = assignment_to_catchments(
+            {1: "l1", 2: "l1", 3: "l2"}, ["l1", "l2", "l3"]
+        )
+        assert catchments["l1"] == frozenset({1, 2})
+        assert catchments["l2"] == frozenset({3})
+        assert catchments["l3"] == frozenset()
+
+    def test_unlisted_link_still_included(self):
+        catchments = assignment_to_catchments({1: "lX"}, ["l1"])
+        assert catchments["lX"] == frozenset({1})
+
+
+class TestCatchmentHistory:
+    def test_restricts_to_universe(self):
+        history = CatchmentHistory([1, 2])
+        history.add({1: "l1", 99: "l2"})
+        assert history.missing_sources() == {0: frozenset({2})}
+
+    def test_rejects_empty_universe(self):
+        with pytest.raises(MeasurementError):
+            CatchmentHistory([])
+
+    def test_smax_finds_most_frequent_companion(self):
+        """§IV-d: smax is the source sharing s's catchment most often."""
+        history = CatchmentHistory([1, 2, 3])
+        history.add({1: "l1", 2: "l1", 3: "l2"})
+        history.add({1: "l1", 2: "l1", 3: "l1"})
+        history.add({1: "l2", 2: "l2", 3: "l1"})
+        assert history.smax_of(1) == 2
+
+    def test_smax_none_when_always_alone(self):
+        history = CatchmentHistory([1, 2])
+        history.add({1: "l1", 2: "l2"})
+        assert history.smax_of(1) is None
+
+    def test_imputation_fills_missing_from_smax(self):
+        history = CatchmentHistory([1, 2])
+        history.add({1: "l1", 2: "l1"})   # 2 is 1's smax
+        history.add({2: "l2"})            # 1 missing here
+        imputed = history.imputed_assignments()
+        assert imputed[1][1] == "l2"
+
+    def test_imputation_leaves_unfillable_missing(self):
+        history = CatchmentHistory([1, 2])
+        history.add({1: "l1", 2: "l1"})
+        history.add({})  # both missing: smax also unobserved
+        imputed = history.imputed_assignments()
+        assert 1 not in imputed[1]
+
+    def test_catchment_maps_shapes(self):
+        history = CatchmentHistory([1, 2, 3])
+        history.add({1: "l1", 2: "l1", 3: "l2"})
+        maps = history.catchment_maps(["l1", "l2"])
+        assert maps[0]["l1"] == frozenset({1, 2})
+        assert maps[0]["l2"] == frozenset({3})
+
+    def test_len(self):
+        history = CatchmentHistory([1])
+        history.add({1: "l1"})
+        history.add({1: "l2"})
+        assert len(history) == 2

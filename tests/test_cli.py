@@ -1,0 +1,76 @@
+"""Tests for the spooftrack CLI."""
+
+import pytest
+
+from repro.cli import SCALES, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figures_defaults(self):
+        args = build_parser().parse_args(["figures"])
+        assert args.scale == "small"
+        assert args.ids == []
+
+    def test_track_options(self):
+        args = build_parser().parse_args(
+            ["--seed", "3", "track", "--distribution", "pareto", "--sources", "4"]
+        )
+        assert args.seed == 3
+        assert args.distribution == "pareto"
+        assert args.sources == 4
+
+    def test_scales_registered(self):
+        assert {"small", "medium", "paper"} <= set(SCALES)
+
+
+class TestCommands:
+    def test_tables_command(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Table II" in out
+        assert "Routing (this paper)" in out
+
+    def test_track_command(self, capsys):
+        code = main(
+            ["--seed", "2", "track", "--max-configs", "12", "--sources", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "configurations deployed : 12" in out
+        assert "ground-truth source ASes:" in out
+
+    def test_figures_command_single(self, capsys):
+        code = main(
+            ["--seed", "2", "figures", "figure9", "--max-configs", "10"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "figure9" in out
+        assert "Best Relationship" in out
+
+    def test_figures_rejects_unknown_id(self, capsys):
+        assert main(["figures", "figure99"]) == 2
+        assert "unknown figure ids" in capsys.readouterr().out
+
+    def test_experiments_to_file(self, tmp_path, capsys):
+        output = tmp_path / "exp.md"
+        code = main(
+            [
+                "--seed",
+                "2",
+                "experiments",
+                "--max-configs",
+                "8",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        text = output.read_text()
+        assert "### figure3" in text
+        assert "### figure10" in text

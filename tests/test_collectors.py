@@ -1,0 +1,119 @@
+"""Tests for BGP collector emulation."""
+
+import pytest
+
+from repro.bgp.announcement import AnnouncementConfig, anycast_all
+from repro.errors import MeasurementError
+from repro.measurement.collectors import (
+    BGPCollectorSet,
+    link_of_bgp_path,
+    select_vantages,
+)
+from tests.conftest import A, B, C, ORIGIN, P1, P2, T1, build_mini_internet
+
+
+def mini_outcome(config=None, **policy_kwargs):
+    from repro.bgp.policy import PolicyModel
+    from repro.bgp.simulator import RoutingSimulator
+
+    mini = build_mini_internet()
+    defaults = dict(policy_noise=0.0, loop_prevention_disabled_fraction=0.0)
+    defaults.update(policy_kwargs)
+    policy = PolicyModel(mini.graph, **defaults)
+    simulator = RoutingSimulator(mini.graph, mini.origin, policy)
+    return mini, simulator.simulate(config or anycast_all(["l1", "l2"]))
+
+
+class TestSelectVantages:
+    def test_count_and_exclusion(self, small_testbed):
+        graph = small_testbed.graph
+        vantages = select_vantages(
+            graph, 10, seed=1, exclude=[small_testbed.origin.asn]
+        )
+        assert len(vantages) == 10
+        assert small_testbed.origin.asn not in vantages
+
+    def test_degree_bias_selects_big_ases(self, small_testbed):
+        graph = small_testbed.graph
+        vantages = select_vantages(graph, 10, seed=1, degree_bias=1.0)
+        degrees = sorted((graph.degree(asn) for asn in graph.ases), reverse=True)
+        vantage_degrees = [graph.degree(asn) for asn in vantages]
+        assert min(vantage_degrees) >= degrees[9]
+
+    def test_deterministic(self, small_testbed):
+        graph = small_testbed.graph
+        assert select_vantages(graph, 8, seed=3) == select_vantages(
+            graph, 8, seed=3
+        )
+
+    def test_too_many_raises(self, small_testbed):
+        with pytest.raises(MeasurementError):
+            select_vantages(small_testbed.graph, 10**6)
+
+    def test_bad_bias_raises(self, small_testbed):
+        with pytest.raises(MeasurementError):
+            select_vantages(small_testbed.graph, 5, degree_bias=2.0)
+
+
+class TestCollectorSet:
+    def test_observes_vantage_paths(self):
+        mini, outcome = mini_outcome()
+        collectors = BGPCollectorSet([A, B], mini.origin)
+        observations = collectors.observe(outcome)
+        assert observations[A] == (A,) + outcome.route(A).as_path
+        assert observations[A][-1] == ORIGIN
+
+    def test_vantage_without_route_absent(self):
+        config = AnnouncementConfig(
+            announced=frozenset(["l1"]), poisoned={"l1": frozenset([T1])}
+        )
+        mini, outcome = mini_outcome(config, tier1_leak_filtering=False)
+        collectors = BGPCollectorSet([C, A], mini.origin)
+        observations = collectors.observe(outcome)
+        assert C not in observations  # C lost reachability
+        assert A in observations
+
+    def test_rejects_empty_or_duplicate_vantages(self):
+        mini, _ = mini_outcome()
+        with pytest.raises(MeasurementError):
+            BGPCollectorSet([], mini.origin)
+        with pytest.raises(MeasurementError):
+            BGPCollectorSet([A, A], mini.origin)
+
+
+class TestLinkOfPath:
+    def test_identifies_link_from_provider(self):
+        mini, outcome = mini_outcome()
+        assert link_of_bgp_path(mini.origin, (A, P1, ORIGIN)) == "l1"
+        assert link_of_bgp_path(mini.origin, (B, P2, ORIGIN)) == "l2"
+
+    def test_prepending_does_not_confuse(self):
+        mini, _ = mini_outcome()
+        path = (A, P1, ORIGIN, ORIGIN, ORIGIN)
+        assert link_of_bgp_path(mini.origin, path) == "l1"
+
+    def test_poison_stuffing_does_not_confuse(self):
+        mini, _ = mini_outcome()
+        path = (A, P1, ORIGIN, 666, ORIGIN)
+        assert link_of_bgp_path(mini.origin, path) == "l1"
+
+    def test_path_without_origin_unattributable(self):
+        mini, _ = mini_outcome()
+        assert link_of_bgp_path(mini.origin, (A, P1)) is None
+
+    def test_path_not_via_provider_unattributable(self):
+        mini, _ = mini_outcome()
+        assert link_of_bgp_path(mini.origin, (A, 12345, ORIGIN)) is None
+
+    def test_origin_first_unattributable(self):
+        mini, _ = mini_outcome()
+        assert link_of_bgp_path(mini.origin, (ORIGIN, P1)) is None
+
+    def test_observations_attribute_to_true_catchment(self):
+        """Collector-derived links must agree with simulator catchments."""
+        mini, outcome = mini_outcome()
+        collectors = BGPCollectorSet([A, B, C], mini.origin)
+        for vantage, path in collectors.observe(outcome).items():
+            assert link_of_bgp_path(mini.origin, path) == outcome.catchment_of(
+                vantage
+            )

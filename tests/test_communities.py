@@ -1,0 +1,177 @@
+"""Tests for the §VIII no-export community extension."""
+
+import pytest
+
+from repro.bgp.announcement import AnnouncementConfig, anycast_all
+from repro.core.configgen import (
+    PHASE_COMMUNITIES,
+    ScheduleParams,
+    community_configs,
+    generate_schedule,
+    poison_configs,
+)
+from repro.errors import AnnouncementError
+from tests.conftest import A, B, C, M, ORIGIN, P1, P2, T1, T2, build_mini_internet
+
+
+def simulate(config, **policy_kwargs):
+    from repro.bgp.policy import PolicyModel
+    from repro.bgp.simulator import RoutingSimulator
+
+    mini = build_mini_internet()
+    defaults = dict(policy_noise=0.0, loop_prevention_disabled_fraction=0.0)
+    defaults.update(policy_kwargs)
+    policy = PolicyModel(mini.graph, seed=0, **defaults)
+    return RoutingSimulator(mini.graph, mini.origin, policy).simulate(config)
+
+
+class TestConfigValidation:
+    def test_no_export_on_announced_link(self):
+        config = AnnouncementConfig(
+            announced=frozenset(["l1"]), no_export={"l1": frozenset([5])}
+        )
+        assert config.uses_communities
+        assert config.no_export_for_link("l1") == frozenset([5])
+
+    def test_no_export_on_unannounced_link_rejected(self):
+        with pytest.raises(AnnouncementError, match="no-export"):
+            AnnouncementConfig(
+                announced=frozenset(["l1"]), no_export={"l2": frozenset([5])}
+            )
+
+    def test_key_distinguishes_communities(self):
+        plain = AnnouncementConfig(announced=frozenset(["l1"]))
+        tagged = AnnouncementConfig(
+            announced=frozenset(["l1"]), no_export={"l1": frozenset([5])}
+        )
+        assert plain.key() != tagged.key()
+
+    def test_describe_mentions_communities(self):
+        config = AnnouncementConfig(
+            announced=frozenset(["l1"]), no_export={"l1": frozenset([5])}
+        )
+        assert "C={" in config.describe()
+
+    def test_communities_do_not_change_as_path(self):
+        config = AnnouncementConfig(
+            announced=frozenset(["l1"]), no_export={"l1": frozenset([5])}
+        )
+        assert config.as_path_for_link(ORIGIN, "l1") == (ORIGIN,)
+
+
+class TestSimulatorBehaviour:
+    def test_no_export_severs_provider_link(self):
+        """Blocking P1→T1 export on l1 forces T1 (and its cone) to l2."""
+        blocked = simulate(
+            AnnouncementConfig(
+                announced=frozenset(["l1", "l2"]),
+                no_export={"l1": frozenset([T1])},
+            )
+        )
+        assert blocked.catchment_of(T1) == "l2"
+        assert blocked.catchment_of(C) == "l2"
+        # A (P1's own customer) is unaffected — the community only blocks
+        # the P1→T1 export.
+        assert blocked.catchment_of(A) == "l1"
+
+    def test_matches_poisoning_when_loop_prevention_works(self):
+        poisoned = simulate(
+            AnnouncementConfig(
+                announced=frozenset(["l1", "l2"]),
+                poisoned={"l1": frozenset([T1])},
+            ),
+            tier1_leak_filtering=False,
+        )
+        community = simulate(
+            AnnouncementConfig(
+                announced=frozenset(["l1", "l2"]),
+                no_export={"l1": frozenset([T1])},
+            ),
+            tier1_leak_filtering=False,
+        )
+        for asn in community.covered_ases:
+            assert community.catchment_of(asn) == poisoned.catchment_of(asn)
+
+    def test_works_where_poisoning_fails_loop_prevention(self):
+        """The extension's selling point: the target's disabled loop
+        prevention defeats poisoning but not the community."""
+        kwargs = dict(loop_prevention_disabled_fraction=1.0, tier1_leak_filtering=False)
+        poisoned = simulate(
+            AnnouncementConfig(
+                announced=frozenset(["l1", "l2"]),
+                poisoned={"l1": frozenset([T1])},
+            ),
+            **kwargs,
+        )
+        community = simulate(
+            AnnouncementConfig(
+                announced=frozenset(["l1", "l2"]),
+                no_export={"l1": frozenset([T1])},
+            ),
+            **kwargs,
+        )
+        assert poisoned.catchment_of(T1) == "l1"   # poison ignored
+        assert community.catchment_of(T1) == "l2"  # community still works
+
+    def test_works_where_tier1_filter_defeats_poisoning(self):
+        """Tier-1 route-leak filters eat poisoned paths containing another
+        tier-1; a community carries no tier-1 in the path."""
+        poisoned = simulate(
+            AnnouncementConfig(
+                announced=frozenset(["l1"]), poisoned={"l1": frozenset([T2])}
+            ),
+            tier1_leak_filtering=True,
+        )
+        community = simulate(
+            AnnouncementConfig(
+                announced=frozenset(["l1"]), no_export={"l1": frozenset([T2])}
+            ),
+            tier1_leak_filtering=True,
+        )
+        # Poison: T1 filters the whole announcement → its cone goes dark.
+        assert poisoned.route(T1) is None
+        # Community: only the P1→T2 export would be blocked (no such
+        # link), everyone keeps routes.
+        assert community.route(T1) is not None
+        assert community.route(C) is not None
+
+    def test_community_only_applies_at_direct_provider(self):
+        """Blocking AS B on l2's announcement severs P2→B, but an AS named
+        in the community elsewhere in the topology is untouched."""
+        blocked = simulate(
+            AnnouncementConfig(
+                announced=frozenset(["l1", "l2"]),
+                no_export={"l2": frozenset([B])},
+            )
+        )
+        assert blocked.route(B) is None  # B is single-homed to P2
+        # Same target on l1's announcement: P1 has no link to B, no effect.
+        unaffected = simulate(
+            AnnouncementConfig(
+                announced=frozenset(["l1", "l2"]),
+                no_export={"l1": frozenset([B])},
+            )
+        )
+        assert unaffected.route(B) is not None
+
+
+class TestCommunityConfigGeneration:
+    def test_mirrors_poison_targets(self, small_testbed):
+        origin, graph = small_testbed.origin, small_testbed.graph
+        poisons = poison_configs(origin, graph, max_per_provider=3)
+        communities = community_configs(origin, graph, max_per_provider=3)
+        assert len(communities) == len(poisons)
+        for config in communities:
+            assert config.phase == PHASE_COMMUNITIES
+            assert config.uses_communities
+            assert not config.uses_poisoning
+
+    def test_schedule_appends_community_phase(self, small_testbed):
+        schedule = generate_schedule(
+            small_testbed.origin,
+            small_testbed.graph,
+            ScheduleParams(include_communities=True, max_poison_targets=2),
+        )
+        phases = [config.phase for config in schedule]
+        assert phases[-1] == PHASE_COMMUNITIES
+        assert PHASE_COMMUNITIES not in phases[: phases.index(PHASE_COMMUNITIES)]

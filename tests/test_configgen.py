@@ -1,0 +1,180 @@
+"""Tests for announcement-schedule generation (§III-A, §IV-a)."""
+
+import pytest
+
+from repro.core.configgen import (
+    PHASE_LOCATIONS,
+    PHASE_POISONING,
+    PHASE_PREPENDING,
+    ScheduleParams,
+    distant_poison_configs,
+    expected_location_count,
+    expected_prepend_count,
+    generate_schedule,
+    location_configs,
+    poison_configs,
+    prepend_configs,
+    provider_neighbor_targets,
+)
+from repro.errors import SchedulingError
+
+SEVEN = [f"l{i}" for i in range(7)]
+
+
+class TestLocationConfigs:
+    def test_paper_count_for_seven_links(self):
+        """Paper: Σₓ C(7, 7−x) for x in 0..3 = 64 configurations."""
+        configs = location_configs(SEVEN, max_removed=3)
+        assert len(configs) == 64
+        assert expected_location_count(7, 3) == 64
+
+    def test_first_config_is_anycast_all(self):
+        configs = location_configs(SEVEN, max_removed=3)
+        assert configs[0].announced == frozenset(SEVEN)
+
+    def test_decreasing_size_order(self):
+        configs = location_configs(SEVEN, max_removed=3)
+        sizes = [len(config.announced) for config in configs]
+        assert sizes == sorted(sizes, reverse=True)
+        assert min(sizes) == 4
+
+    def test_all_configs_unique(self):
+        configs = location_configs(SEVEN, max_removed=3)
+        assert len({config.key() for config in configs}) == len(configs)
+
+    def test_phase_tag(self):
+        for config in location_configs(SEVEN, max_removed=1):
+            assert config.phase == PHASE_LOCATIONS
+
+    def test_never_removes_all_links(self):
+        configs = location_configs(["a", "b"], max_removed=5)
+        assert all(config.announced for config in configs)
+        assert len(configs) == 3  # {a,b}, {a}, {b}
+
+    def test_rejects_empty_links(self):
+        with pytest.raises(SchedulingError):
+            location_configs([])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(SchedulingError):
+            location_configs(["a", "a"])
+
+
+class TestPrependConfigs:
+    def test_paper_count_for_seven_links(self):
+        """Paper: Σₓ (7−x)·C(7, 7−x) = 294 configurations."""
+        bases = location_configs(SEVEN, max_removed=3)
+        prepends = prepend_configs(bases, max_prepend_size=1)
+        assert len(prepends) == 294
+        assert expected_prepend_count(7, 3) == 294
+
+    def test_single_prepend_per_config(self):
+        bases = location_configs(SEVEN, max_removed=1)
+        for config in prepend_configs(bases, max_prepend_size=1):
+            assert len(config.prepended) == 1
+            assert config.prepended <= config.announced
+            assert config.phase == PHASE_PREPENDING
+
+    def test_increasing_prepend_size_order(self):
+        bases = location_configs(["a", "b", "c"], max_removed=0)
+        configs = prepend_configs(bases, max_prepend_size=2)
+        sizes = [len(config.prepended) for config in configs]
+        assert sizes == sorted(sizes)
+        assert sizes == [1, 1, 1, 2, 2, 2]
+
+    def test_prepend_count_propagates(self):
+        bases = location_configs(["a"], max_removed=0)
+        configs = prepend_configs(bases, prepend_count=6)
+        assert configs[0].prepend_count == 6
+
+
+class TestPoisonConfigs:
+    def test_targets_are_provider_neighbors(self, small_testbed):
+        origin = small_testbed.origin
+        graph = small_testbed.graph
+        targets = provider_neighbor_targets(origin, graph)
+        providers = {link.provider for link in origin.links}
+        for link in origin.links:
+            neighbors = set(graph.neighbors(link.provider))
+            for target in targets[link.link_id]:
+                assert target in neighbors
+                assert target != origin.asn
+                assert target not in providers
+
+    def test_one_config_per_target(self, small_testbed):
+        origin, graph = small_testbed.origin, small_testbed.graph
+        targets = provider_neighbor_targets(origin, graph)
+        configs = poison_configs(origin, graph)
+        assert len(configs) == sum(len(t) for t in targets.values())
+
+    def test_poison_configs_announce_everywhere(self, small_testbed):
+        origin, graph = small_testbed.origin, small_testbed.graph
+        for config in poison_configs(origin, graph, max_per_provider=2):
+            assert config.announced == frozenset(origin.link_ids)
+            assert config.phase == PHASE_POISONING
+            assert len(config.poisoned) == 1
+            (poisons,) = config.poisoned.values()
+            assert len(poisons) == 1
+
+    def test_max_per_provider_cap(self, small_testbed):
+        origin, graph = small_testbed.origin, small_testbed.graph
+        targets = provider_neighbor_targets(origin, graph, max_per_provider=3)
+        assert all(len(t) <= 3 for t in targets.values())
+
+
+class TestDistantPoisonConfigs:
+    def test_poisons_target_on_all_links(self, small_testbed):
+        origin, graph = small_testbed.origin, small_testbed.graph
+        target = sorted(small_testbed.topology.stubs)[0]
+        configs = distant_poison_configs(origin, graph, [target])
+        assert len(configs) == 1
+        config = configs[0]
+        for link in origin.link_ids:
+            assert config.poisons_for_link(link) == frozenset([target])
+
+    def test_skips_providers_and_unknown(self, small_testbed):
+        origin, graph = small_testbed.origin, small_testbed.graph
+        provider = origin.links[0].provider
+        configs = distant_poison_configs(origin, graph, [provider, 999999999])
+        assert configs == []
+
+
+class TestFullSchedule:
+    def test_phases_in_order(self, small_testbed):
+        schedule = generate_schedule(small_testbed.origin, small_testbed.graph)
+        phases = [config.phase for config in schedule]
+        first_prep = phases.index(PHASE_PREPENDING)
+        first_poison = phases.index(PHASE_POISONING)
+        assert all(p == PHASE_LOCATIONS for p in phases[:first_prep])
+        assert all(p == PHASE_PREPENDING for p in phases[first_prep:first_poison])
+        assert all(p == PHASE_POISONING for p in phases[first_poison:])
+
+    def test_no_poisoning_when_disabled(self, small_testbed):
+        schedule = generate_schedule(
+            small_testbed.origin,
+            small_testbed.graph,
+            ScheduleParams(include_poisoning=False),
+        )
+        assert all(config.phase != PHASE_POISONING for config in schedule)
+
+    def test_paper_location_prepend_structure(self, small_testbed):
+        # The small testbed has 5 links; with max_removed=3:
+        # locations = C(5,5)+C(5,4)+C(5,3)+C(5,2) = 1+5+10+10 = 26
+        # prepending = 5·1+4·5+3·10+2·10 = 75
+        schedule = generate_schedule(
+            small_testbed.origin,
+            small_testbed.graph,
+            ScheduleParams(include_poisoning=False),
+        )
+        locations = [c for c in schedule if c.phase == PHASE_LOCATIONS]
+        prepends = [c for c in schedule if c.phase == PHASE_PREPENDING]
+        assert len(locations) == 26 == expected_location_count(5, 3)
+        assert len(prepends) == 75 == expected_prepend_count(5, 3)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(SchedulingError):
+            ScheduleParams(max_removed=-1)
+        with pytest.raises(SchedulingError):
+            ScheduleParams(prepend_count=0)
+        with pytest.raises(SchedulingError):
+            ScheduleParams(max_poison_targets=-2)

@@ -1,0 +1,141 @@
+"""Tests for the event-driven BGP convergence engine."""
+
+import pytest
+
+from repro.bgp.announcement import AnnouncementConfig, anycast_all
+from repro.bgp.convergence import ConvergenceEngine, ConvergenceParams
+from repro.bgp.policy import PolicyModel
+from repro.bgp.simulator import RoutingSimulator
+from repro.errors import ConvergenceError
+from tests.conftest import A, B, C, ORIGIN, P1, T1, build_mini_internet
+
+
+def mini_engine(**params):
+    mini = build_mini_internet()
+    policy = PolicyModel(
+        mini.graph, policy_noise=0.0, loop_prevention_disabled_fraction=0.0
+    )
+    engine = ConvergenceEngine(
+        mini.graph, mini.origin, policy, ConvergenceParams(**params)
+    )
+    simulator = RoutingSimulator(mini.graph, mini.origin, policy)
+    return engine, simulator
+
+
+BOTH = anycast_all(["l1", "l2"])
+
+
+class TestFixpointAgreement:
+    """The event-driven engine must land exactly on the fixpoint."""
+
+    def test_anycast_agrees(self):
+        engine, simulator = mini_engine()
+        assert engine.run(BOTH).agrees_with(simulator.simulate(BOTH))
+
+    def test_withdrawal_agrees(self):
+        config = AnnouncementConfig(announced=frozenset(["l2"]))
+        engine, simulator = mini_engine()
+        assert engine.run(config).agrees_with(simulator.simulate(config))
+
+    def test_prepending_agrees(self):
+        config = AnnouncementConfig(
+            announced=frozenset(["l1", "l2"]), prepended=frozenset(["l1"])
+        )
+        engine, simulator = mini_engine()
+        assert engine.run(config).agrees_with(simulator.simulate(config))
+
+    def test_poisoning_agrees(self):
+        config = AnnouncementConfig(
+            announced=frozenset(["l1", "l2"]), poisoned={"l1": frozenset([T1])}
+        )
+        engine, simulator = mini_engine()
+        assert engine.run(config).agrees_with(simulator.simulate(config))
+
+    def test_communities_agree(self):
+        config = AnnouncementConfig(
+            announced=frozenset(["l1", "l2"]), no_export={"l1": frozenset([T1])}
+        )
+        engine, simulator = mini_engine()
+        assert engine.run(config).agrees_with(simulator.simulate(config))
+
+    def test_agreement_on_generated_topology(self, small_testbed):
+        engine = ConvergenceEngine(
+            small_testbed.graph, small_testbed.origin, small_testbed.policy
+        )
+        for announced in (
+            small_testbed.origin.link_ids,
+            small_testbed.origin.link_ids[1:],
+        ):
+            config = anycast_all(announced)
+            result = engine.run(config)
+            assert result.agrees_with(small_testbed.simulator.simulate(config))
+
+
+class TestDynamics:
+    def test_convergence_time_positive_and_bounded(self):
+        engine, _ = mini_engine()
+        result = engine.run(BOTH)
+        assert 0.0 < result.convergence_time < 600.0
+
+    def test_mrai_slows_convergence(self):
+        fast_engine, simulator = mini_engine(mrai_seconds=0.0)
+        slow_engine, _ = mini_engine(mrai_seconds=30.0)
+        fast = fast_engine.run(BOTH)
+        slow = slow_engine.run(BOTH)
+        assert fast.convergence_time <= slow.convergence_time
+        # Timing never changes the destination, only the journey.
+        fixpoint = simulator.simulate(BOTH)
+        assert fast.agrees_with(fixpoint)
+        assert slow.agrees_with(fixpoint)
+
+    def test_messages_counted(self):
+        engine, _ = mini_engine()
+        result = engine.run(BOTH)
+        assert result.messages_sent >= len(result.routes)
+        assert result.events_processed == result.messages_sent
+
+    def test_last_change_times_recorded(self):
+        engine, _ = mini_engine()
+        result = engine.run(BOTH)
+        assert set(result.last_change_by_as) >= set(result.routes)
+        assert max(result.last_change_by_as.values()) == pytest.approx(
+            result.convergence_time
+        )
+
+    def test_catchments_accessor(self):
+        engine, simulator = mini_engine()
+        result = engine.run(BOTH)
+        assert result.catchments() == dict(simulator.simulate(BOTH).catchments)
+
+    def test_far_ases_converge_later(self):
+        engine, _ = mini_engine()
+        result = engine.run(BOTH)
+        # C (3 AS-hops out) cannot settle before P1 (direct provider).
+        assert result.last_change_by_as[C] >= result.last_change_by_as[P1]
+
+    def test_link_delay_deterministic_and_in_range(self):
+        engine, _ = mini_engine(
+            min_link_delay_seconds=0.1, max_link_delay_seconds=0.2
+        )
+        delay = engine.link_delay(P1, T1)
+        assert delay == engine.link_delay(T1, P1)
+        assert 0.1 <= delay <= 0.2
+
+
+class TestValidation:
+    def test_bad_params_rejected(self):
+        with pytest.raises(ConvergenceError):
+            ConvergenceParams(mrai_seconds=-1)
+        with pytest.raises(ConvergenceError):
+            ConvergenceParams(
+                min_link_delay_seconds=0.5, max_link_delay_seconds=0.1
+            )
+        with pytest.raises(ConvergenceError):
+            ConvergenceParams(processing_seconds=-0.1)
+
+    def test_event_bound_enforced(self):
+        mini = build_mini_internet()
+        policy = PolicyModel(mini.graph, policy_noise=0.0)
+        engine = ConvergenceEngine(mini.graph, mini.origin, policy, max_events=3)
+        with pytest.raises(ConvergenceError, match="events"):
+            engine.run(BOTH)

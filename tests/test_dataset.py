@@ -1,0 +1,150 @@
+"""Tests for dataset export/import (§VI)."""
+
+import io
+import json
+
+import pytest
+
+from repro.bgp.announcement import AnnouncementConfig
+from repro.core.clustering import clusters_from_catchment_history
+from repro.data import FORMAT_NAME, FORMAT_VERSION, Dataset
+from repro.errors import DataFormatError
+
+LINKS = ["l1", "l2"]
+CONFIGS = [
+    AnnouncementConfig(announced=frozenset(LINKS), label="all", phase="locations"),
+    AnnouncementConfig(
+        announced=frozenset(LINKS),
+        prepended=frozenset(["l1"]),
+        label="prep",
+        phase="prepending",
+    ),
+    AnnouncementConfig(
+        announced=frozenset(LINKS),
+        poisoned={"l1": frozenset([9])},
+        no_export={"l2": frozenset([8])},
+        label="mixed",
+        phase="poisoning",
+    ),
+]
+ASSIGNMENTS = [
+    {1: "l1", 2: "l1", 3: "l2"},
+    {1: "l1", 2: "l2", 3: "l2"},
+    {1: "l2", 2: "l1", 3: "l2"},
+]
+
+
+def sample_dataset():
+    return Dataset.from_history(LINKS, CONFIGS, ASSIGNMENTS, meta={"seed": 7})
+
+
+class TestConstruction:
+    def test_from_history(self):
+        dataset = sample_dataset()
+        assert len(dataset) == 3
+        assert dataset.sources() == frozenset({1, 2, 3})
+        assert dataset.meta["seed"] == 7
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DataFormatError):
+            Dataset.from_history(LINKS, CONFIGS, ASSIGNMENTS[:2])
+
+    def test_from_catchment_history(self):
+        history = [
+            {"l1": frozenset({1, 2}), "l2": frozenset({3})},
+            {"l1": frozenset({1}), "l2": frozenset({2, 3})},
+        ]
+        dataset = Dataset.from_catchment_history(LINKS, CONFIGS[:2], history)
+        assert dataset.records[0].assignment == {1: "l1", 2: "l1", 3: "l2"}
+
+    def test_catchment_history_roundtrip(self):
+        dataset = sample_dataset()
+        history = dataset.catchment_history()
+        assert history[0]["l1"] == frozenset({1, 2})
+        assert history[2]["l2"] == frozenset({1, 3})
+
+
+class TestSerialization:
+    def test_save_load_roundtrip(self, tmp_path):
+        path = tmp_path / "dataset.json"
+        original = sample_dataset()
+        original.save(path)
+        restored = Dataset.load(path)
+        assert restored.links == original.links
+        assert restored.meta == original.meta
+        assert len(restored) == len(original)
+        for mine, theirs in zip(original.records, restored.records):
+            assert mine.config.key() == theirs.config.key()
+            assert mine.config.label == theirs.config.label
+            assert mine.config.phase == theirs.config.phase
+            assert mine.assignment == theirs.assignment
+
+    def test_roundtrip_through_file_object(self):
+        buffer = io.StringIO()
+        sample_dataset().save(buffer)
+        buffer.seek(0)
+        restored = Dataset.load(buffer)
+        assert len(restored) == 3
+
+    def test_format_marker_written(self):
+        payload = sample_dataset().to_json_dict()
+        assert payload["format"] == FORMAT_NAME
+        assert payload["version"] == FORMAT_VERSION
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(DataFormatError, match="not a"):
+            Dataset.from_json_dict({"format": "something-else"})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(DataFormatError, match="version"):
+            Dataset.from_json_dict({"format": FORMAT_NAME, "version": 99})
+
+    def test_malformed_record_rejected(self):
+        payload = sample_dataset().to_json_dict()
+        del payload["configs"][1]["announced"]
+        with pytest.raises(DataFormatError, match="record 1"):
+            Dataset.from_json_dict(payload)
+
+    def test_json_is_stable(self):
+        a = json.dumps(sample_dataset().to_json_dict(), sort_keys=True)
+        b = json.dumps(sample_dataset().to_json_dict(), sort_keys=True)
+        assert a == b
+
+
+class TestReanalysis:
+    def test_clustering_from_loaded_dataset(self, tmp_path):
+        """The paper's use case: reanalyze a published dataset offline."""
+        path = tmp_path / "dataset.json"
+        sample_dataset().save(path)
+        dataset = Dataset.load(path)
+        state = clusters_from_catchment_history(
+            sorted(dataset.sources()), dataset.catchment_history()
+        )
+        # The three assignments fully separate sources 1, 2, 3.
+        assert state.sizes() == [1, 1, 1]
+
+    def test_configs_preserve_manipulations(self, tmp_path):
+        path = tmp_path / "dataset.json"
+        sample_dataset().save(path)
+        configs = Dataset.load(path).configs()
+        assert configs[1].prepended == frozenset(["l1"])
+        assert configs[2].poisons_for_link("l1") == frozenset([9])
+        assert configs[2].no_export_for_link("l2") == frozenset([8])
+
+
+class TestEndToEndExport:
+    def test_export_from_evaluation_run(self, small_testbed, tmp_path):
+        from repro.analysis.figures import EvaluationRun
+
+        run = EvaluationRun(testbed=small_testbed, max_configs=6)
+        dataset = Dataset.from_catchment_history(
+            small_testbed.origin.link_ids,
+            run.schedule,
+            run.catchment_history,
+            meta={"ases": len(small_testbed.graph)},
+        )
+        path = tmp_path / "run.json"
+        dataset.save(path)
+        restored = Dataset.load(path)
+        assert len(restored) == 6
+        assert restored.catchment_history() == run.catchment_history

@@ -1,0 +1,62 @@
+"""Tests for measured-mode EvaluationRun (figures from the §IV pipeline)."""
+
+import pytest
+
+from repro.analysis.figures import EvaluationRun, figure3, figure4
+
+
+@pytest.fixture(scope="module")
+def measured_run(request):
+    small_testbed = request.getfixturevalue("small_testbed")
+    return EvaluationRun(
+        testbed=small_testbed,
+        max_configs=12,
+        compute_compliance=False,
+        measured=True,
+    )
+
+
+class TestMeasuredRun:
+    def test_universe_from_measured_anycast(self, measured_run):
+        # Measured coverage is a strict subset of the topology.
+        assert 20 < len(measured_run.universe) < len(measured_run.testbed.graph)
+
+    def test_flag_recorded(self, measured_run):
+        assert measured_run.measured
+
+    def test_one_catchment_map_per_config(self, measured_run):
+        assert len(measured_run.catchment_history) == 12
+
+    def test_catchments_restricted_to_universe(self, measured_run):
+        for catchments in measured_run.catchment_history:
+            for members in catchments.values():
+                assert members <= measured_run.universe
+
+    def test_catchment_links_match_announcements(self, measured_run):
+        for config, catchments in zip(
+            measured_run.schedule, measured_run.catchment_history
+        ):
+            assert set(catchments) <= set(config.announced) | set(
+                measured_run.testbed.origin.link_ids
+            )
+
+    def test_imputation_keeps_coverage_high(self, measured_run):
+        """smax imputation should leave few sources unassigned per config."""
+        for catchments in measured_run.catchment_history:
+            assigned = frozenset().union(*catchments.values())
+            assert len(assigned) >= 0.8 * len(measured_run.universe)
+
+    def test_figures_run_on_measured_data(self, measured_run):
+        fig3 = figure3(measured_run)
+        fig4 = figure4(measured_run)
+        assert fig3.series
+        means = [y for _, y in fig4.series_named("Mean Cluster Size").points]
+        assert means[-1] <= means[0]
+
+    def test_measured_clusters_coarser_than_truth(self, request, measured_run):
+        small_testbed = request.getfixturevalue("small_testbed")
+        truth_run = EvaluationRun(
+            testbed=small_testbed, max_configs=12, compute_compliance=False
+        )
+        # Ground truth observes every AS; measured only a subset.
+        assert len(measured_run.universe) < len(truth_run.universe)

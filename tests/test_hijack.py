@@ -1,0 +1,82 @@
+"""Tests for hijack-scenario coverage (§VI)."""
+
+import pytest
+
+from repro.bgp.announcement import anycast_all
+from repro.core.hijack import (
+    HijackScenario,
+    hijack_coverage_report,
+    hijack_impact,
+    hijack_scenarios,
+)
+
+CATCHMENTS = {
+    "l1": frozenset({1, 2, 3}),
+    "l2": frozenset({4, 5}),
+    "l3": frozenset({6}),
+}
+
+
+class TestScenarios:
+    def test_two_to_the_n_scenarios(self):
+        config = anycast_all(["l1", "l2", "l3"])
+        scenarios = list(hijack_scenarios(config))
+        assert len(scenarios) == 8
+
+    def test_partition_covers_all_links(self):
+        config = anycast_all(["l1", "l2"])
+        for scenario in hijack_scenarios(config):
+            assert scenario.legitimate_links | scenario.hijacker_links == (
+                config.announced
+            )
+            assert not scenario.legitimate_links & scenario.hijacker_links
+
+    def test_degenerate_detection(self):
+        config = anycast_all(["l1", "l2"])
+        scenarios = list(hijack_scenarios(config))
+        degenerate = [s for s in scenarios if s.is_degenerate]
+        assert len(degenerate) == 2  # all-legit and all-hijacker
+
+
+class TestImpact:
+    def test_capture_counts_hijacker_catchments(self):
+        scenario = HijackScenario(
+            legitimate_links=frozenset({"l1"}),
+            hijacker_links=frozenset({"l2", "l3"}),
+        )
+        impact = hijack_impact(CATCHMENTS, scenario)
+        assert impact.ases_captured == 3
+        assert impact.ases_total == 6
+        assert impact.capture_fraction == pytest.approx(0.5)
+
+    def test_empty_hijacker_captures_nothing(self):
+        scenario = HijackScenario(
+            legitimate_links=frozenset(CATCHMENTS), hijacker_links=frozenset()
+        )
+        assert hijack_impact(CATCHMENTS, scenario).capture_fraction == 0.0
+
+    def test_zero_total(self):
+        scenario = HijackScenario(
+            legitimate_links=frozenset({"l1"}), hijacker_links=frozenset({"l2"})
+        )
+        empty = {"l1": frozenset(), "l2": frozenset()}
+        assert hijack_impact(empty, scenario).capture_fraction == 0.0
+
+
+class TestCoverageReport:
+    def test_report_on_real_outcome(self, mini_simulator):
+        outcome = mini_simulator.simulate(anycast_all(["l1", "l2"]))
+        report = hijack_coverage_report(outcome)
+        assert len(report) == 2  # l1-hijacks-l2 and l2-hijacks-l1
+        assert report == sorted(
+            report, key=lambda impact: -impact.capture_fraction
+        )
+        fractions = [impact.capture_fraction for impact in report]
+        assert all(0.0 < fraction < 1.0 for fraction in fractions)
+        assert fractions[0] + fractions[1] == pytest.approx(1.0)
+
+    def test_include_degenerate(self, mini_simulator):
+        outcome = mini_simulator.simulate(anycast_all(["l1", "l2"]))
+        report = hijack_coverage_report(outcome, include_degenerate=True)
+        assert len(report) == 4
+        assert report[0].capture_fraction == pytest.approx(1.0)

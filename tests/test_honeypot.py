@@ -1,0 +1,82 @@
+"""Tests for the amplification honeypot."""
+
+import random
+
+import pytest
+
+from repro.spoof.honeypot import (
+    AMPLIFICATION_FACTORS,
+    AmplificationHoneypot,
+    HoneypotReport,
+)
+from repro.spoof.sources import SourcePlacement
+from repro.spoof.traffic import SpoofedTrafficGenerator
+
+CATCHMENTS = {"l1": frozenset({1}), "l2": frozenset({2})}
+
+
+def packets(count=100, seed=1):
+    placement = SourcePlacement({1: 3, 2: 1})
+    generator = SpoofedTrafficGenerator(
+        placement, CATCHMENTS, rng=random.Random(seed), packet_size_bytes=100
+    )
+    return list(generator.packets(count))
+
+
+class TestHoneypot:
+    def test_counts_queries_per_link(self):
+        honeypot = AmplificationHoneypot()
+        report = honeypot.observe(packets(200))
+        assert report.total_queries == 200
+        assert set(report.queries_by_link) == {"l1", "l2"}
+        assert report.queries_by_link["l1"] > report.queries_by_link["l2"]
+
+    def test_byte_volumes_track_queries(self):
+        honeypot = AmplificationHoneypot()
+        report = honeypot.observe(packets(50))
+        for link in report.queries_by_link:
+            assert report.bytes_by_link[link] == pytest.approx(
+                100.0 * report.queries_by_link[link]
+            )
+
+    def test_volume_fractions_sum_to_one(self):
+        report = AmplificationHoneypot().observe(packets(100))
+        assert sum(report.volume_fractions().values()) == pytest.approx(1.0)
+
+    def test_empty_report_fractions(self):
+        report = HoneypotReport()
+        assert report.volume_fractions() == {}
+        assert report.total_queries == 0
+
+    def test_rate_limit_suppresses_responses(self):
+        """AmpPot's defining behaviour: observations unthrottled, responses
+        capped — the honeypot never contributes meaningful attack volume."""
+        honeypot = AmplificationHoneypot(
+            service="ntp", response_rate_limit_bytes=1000.0
+        )
+        report = honeypot.observe(packets(100))
+        assert report.emitted_response_bytes <= 1000.0
+        would_be = 100 * 100 * AMPLIFICATION_FACTORS["ntp"]
+        assert report.suppressed_response_bytes == pytest.approx(
+            would_be - report.emitted_response_bytes
+        )
+        assert report.total_queries == 100  # observation unaffected
+
+    def test_zero_rate_limit_suppresses_everything(self):
+        honeypot = AmplificationHoneypot(response_rate_limit_bytes=0.0)
+        report = honeypot.observe(packets(10))
+        assert report.emitted_response_bytes == 0.0
+        assert report.suppressed_response_bytes > 0.0
+
+    def test_service_amplification_factors(self):
+        for service, factor in AMPLIFICATION_FACTORS.items():
+            honeypot = AmplificationHoneypot(service=service)
+            assert honeypot.amplification_factor == factor
+
+    def test_unknown_service_rejected(self):
+        with pytest.raises(ValueError, match="unknown service"):
+            AmplificationHoneypot(service="quic")
+
+    def test_negative_rate_limit_rejected(self):
+        with pytest.raises(ValueError):
+            AmplificationHoneypot(response_rate_limit_bytes=-1.0)

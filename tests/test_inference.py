@@ -1,0 +1,100 @@
+"""Tests for valid-source inference (spoofed labeling)."""
+
+import random
+
+import pytest
+
+from repro.spoof.inference import InferenceQuality, ValidSourceInference
+
+CATCHMENTS = {
+    "l1": frozenset(range(1, 21)),
+    "l2": frozenset(range(21, 41)),
+}
+
+
+class TestLearning:
+    def test_perfect_coverage_learns_catchments(self):
+        inference = ValidSourceInference(CATCHMENTS, learning_coverage=1.0)
+        assert inference.expected_sources("l1") == CATCHMENTS["l1"]
+        assert inference.expected_sources("l2") == CATCHMENTS["l2"]
+
+    def test_partial_coverage_learns_subset(self):
+        inference = ValidSourceInference(
+            CATCHMENTS, learning_coverage=0.5, rng=random.Random(1)
+        )
+        learned = inference.expected_sources("l1")
+        assert learned < CATCHMENTS["l1"]
+        assert len(learned) == 10
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ValidSourceInference(CATCHMENTS, learning_coverage=0.0)
+        with pytest.raises(ValueError):
+            ValidSourceInference(CATCHMENTS, asymmetry_rate=1.0)
+
+
+class TestLabeling:
+    def test_expected_source_is_legitimate(self):
+        inference = ValidSourceInference(CATCHMENTS)
+        assert not inference.label("l1", 5)
+
+    def test_wrong_link_is_spoofed(self):
+        inference = ValidSourceInference(CATCHMENTS)
+        assert inference.label("l2", 5)
+
+    def test_unknown_source_is_spoofed(self):
+        inference = ValidSourceInference(CATCHMENTS)
+        assert inference.label("l1", 999)
+
+
+class TestSimulateFlows:
+    def test_perfect_conditions_perfect_quality(self):
+        inference = ValidSourceInference(CATCHMENTS, rng=random.Random(2))
+        spoofed = [("l1", 999), ("l2", 1234)]
+        volumes, quality = inference.simulate_flows(range(1, 41), spoofed)
+        assert quality.precision == 1.0
+        assert quality.recall == 1.0
+        assert sum(volumes.values()) == pytest.approx(2.0)
+
+    def test_partial_learning_causes_false_positives(self):
+        inference = ValidSourceInference(
+            CATCHMENTS, learning_coverage=0.5, rng=random.Random(3)
+        )
+        volumes, quality = inference.simulate_flows(range(1, 41), [])
+        assert quality.false_positives > 0
+        assert quality.precision < 1.0
+
+    def test_spoofed_claiming_expected_source_evades(self):
+        """A spoofer forging an address that legitimately maps to the
+        ingress link's catchment evades labeling (a false negative)."""
+        inference = ValidSourceInference(CATCHMENTS, rng=random.Random(4))
+        _, quality = inference.simulate_flows([], [("l1", 5)])
+        assert quality.false_negatives == 1
+        assert quality.recall == 0.0
+
+    def test_asymmetry_causes_false_positives(self):
+        inference = ValidSourceInference(
+            CATCHMENTS, asymmetry_rate=0.5, rng=random.Random(5)
+        )
+        _, quality = inference.simulate_flows(list(range(1, 41)) * 5, [])
+        assert quality.false_positives > 0
+
+    def test_sources_outside_catchments_skipped(self):
+        inference = ValidSourceInference(CATCHMENTS, rng=random.Random(6))
+        _, quality = inference.simulate_flows([12345], [])
+        assert quality.true_negatives == 0
+        assert quality.false_positives == 0
+
+
+class TestQualityMetrics:
+    def test_precision_recall_formulas(self):
+        quality = InferenceQuality(
+            true_positives=8, false_positives=2, true_negatives=5, false_negatives=2
+        )
+        assert quality.precision == pytest.approx(0.8)
+        assert quality.recall == pytest.approx(0.8)
+
+    def test_degenerate_cases(self):
+        empty = InferenceQuality(0, 0, 0, 0)
+        assert empty.precision == 1.0
+        assert empty.recall == 1.0

@@ -1,0 +1,85 @@
+"""Tests for the IXP registry."""
+
+import pytest
+
+from repro.measurement.ixp import IXP, IXPRegistry, synthesize_ixps
+from repro.topology.relationships import Relationship
+from repro.types import Prefix
+
+
+def sample_ixp():
+    return IXP(
+        name="TEST-IX",
+        peering_lan=Prefix.parse("206.0.1.0/24"),
+        members=frozenset({10, 20, 30}),
+    )
+
+
+class TestRegistry:
+    def test_link_between_members_maps_to_ixp(self):
+        registry = IXPRegistry([sample_ixp()])
+        assert registry.ixp_for_link(10, 20).name == "TEST-IX"
+        assert registry.ixp_for_link(20, 10).name == "TEST-IX"
+
+    def test_link_outside_members_is_private(self):
+        registry = IXPRegistry([sample_ixp()])
+        assert registry.ixp_for_link(10, 99) is None
+
+    def test_prefixes(self):
+        registry = IXPRegistry([sample_ixp()])
+        assert registry.prefixes() == [Prefix.parse("206.0.1.0/24")]
+
+    def test_lan_address_inside_lan_and_stable(self):
+        ixp = sample_ixp()
+        registry = IXPRegistry([ixp])
+        address = registry.lan_address(ixp, 20)
+        assert ixp.peering_lan.contains_address(address)
+        assert registry.lan_address(ixp, 20) == address
+
+    def test_lan_addresses_differ_by_member(self):
+        ixp = sample_ixp()
+        registry = IXPRegistry([ixp])
+        assert registry.lan_address(ixp, 10) != registry.lan_address(ixp, 20)
+
+    def test_empty_registry(self):
+        registry = IXPRegistry()
+        assert registry.ixps == []
+        assert registry.ixp_for_link(1, 2) is None
+
+
+class TestSynthesize:
+    def test_covers_fraction_of_peer_links(self, small_topology):
+        registry = synthesize_ixps(
+            small_topology.graph, fraction_of_peer_links=1.0, num_ixps=3, seed=1
+        )
+        peer_links = [
+            (a, b)
+            for a, b, rel in small_topology.graph.links()
+            if rel is Relationship.PEER
+        ]
+        covered = sum(
+            1 for a, b in peer_links if registry.ixp_for_link(a, b) is not None
+        )
+        assert covered == len(peer_links)
+
+    def test_zero_fraction_covers_nothing(self, small_topology):
+        registry = synthesize_ixps(
+            small_topology.graph, fraction_of_peer_links=0.0, seed=1
+        )
+        assert registry.ixps == []
+
+    def test_distinct_peering_lans(self, small_topology):
+        registry = synthesize_ixps(small_topology.graph, num_ixps=4, seed=2)
+        lans = {str(ixp.peering_lan) for ixp in registry.ixps}
+        assert len(lans) == len(registry.ixps)
+
+    def test_deterministic(self, small_topology):
+        a = synthesize_ixps(small_topology.graph, seed=3)
+        b = synthesize_ixps(small_topology.graph, seed=3)
+        assert [ixp.members for ixp in a.ixps] == [ixp.members for ixp in b.ixps]
+
+    def test_rejects_bad_args(self, small_topology):
+        with pytest.raises(ValueError):
+            synthesize_ixps(small_topology.graph, fraction_of_peer_links=2.0)
+        with pytest.raises(ValueError):
+            synthesize_ixps(small_topology.graph, num_ixps=0)

@@ -1,0 +1,141 @@
+"""Tests for spoofed-volume attribution to clusters."""
+
+import pytest
+
+from repro.core.clustering import clusters_from_catchment_history
+from repro.core.localization import (
+    LocalizationQuality,
+    SpoofLocalizer,
+    estimate_cluster_volumes,
+    traffic_fraction_by_cluster_size,
+)
+from repro.errors import ClusteringError
+from repro.spoof.sources import SourcePlacement
+from repro.spoof.traffic import link_volumes
+
+# Two configurations whose catchments fully separate four sources into
+# four singleton clusters.
+HISTORY = [
+    {"l1": frozenset({1, 2}), "l2": frozenset({3, 4})},
+    {"l1": frozenset({1, 3}), "l2": frozenset({2, 4})},
+]
+UNIVERSE = [1, 2, 3, 4]
+
+
+def final_clusters():
+    return clusters_from_catchment_history(UNIVERSE, HISTORY).clusters()
+
+
+class TestEstimateVolumes:
+    def test_recovers_single_source(self):
+        placement = SourcePlacement({3: 1})
+        volumes = [link_volumes(placement, catchments) for catchments in HISTORY]
+        clusters = final_clusters()
+        estimates, residual = estimate_cluster_volumes(clusters, HISTORY, volumes)
+        assert residual == pytest.approx(0.0, abs=1e-9)
+        for cluster, estimate in zip(clusters, estimates):
+            expected = 1.0 if cluster == frozenset({3}) else 0.0
+            assert estimate == pytest.approx(expected, abs=1e-9)
+
+    def test_recovers_multiple_sources(self):
+        placement = SourcePlacement({1: 1, 4: 3})
+        volumes = [link_volumes(placement, catchments) for catchments in HISTORY]
+        clusters = final_clusters()
+        estimates, _ = estimate_cluster_volumes(clusters, HISTORY, volumes)
+        by_cluster = dict(zip(clusters, estimates))
+        assert by_cluster[frozenset({1})] == pytest.approx(0.25, abs=1e-9)
+        assert by_cluster[frozenset({4})] == pytest.approx(0.75, abs=1e-9)
+
+    def test_estimates_nonnegative(self):
+        placement = SourcePlacement({2: 1})
+        volumes = [link_volumes(placement, catchments) for catchments in HISTORY]
+        estimates, _ = estimate_cluster_volumes(final_clusters(), HISTORY, volumes)
+        assert all(estimate >= 0.0 for estimate in estimates)
+
+    def test_rejects_mismatched_histories(self):
+        with pytest.raises(ClusteringError):
+            estimate_cluster_volumes(final_clusters(), HISTORY, [{}])
+
+    def test_rejects_empty_clusters(self):
+        with pytest.raises(ClusteringError):
+            estimate_cluster_volumes([], HISTORY, [{}, {}])
+
+
+class TestSpoofLocalizer:
+    def test_ranks_true_source_first(self):
+        placement = SourcePlacement({4: 5})
+        volumes = [link_volumes(placement, catchments) for catchments in HISTORY]
+        localizer = SpoofLocalizer(final_clusters(), HISTORY)
+        result = localizer.localize(volumes)
+        assert result.ranked[0].members == frozenset({4})
+        assert result.ranked[0].estimated_volume > 0.9
+
+    def test_suspect_ases_cover_volume(self):
+        placement = SourcePlacement({1: 1, 2: 1})
+        volumes = [link_volumes(placement, catchments) for catchments in HISTORY]
+        result = SpoofLocalizer(final_clusters(), HISTORY).localize(volumes)
+        suspects = result.suspect_ases(volume_fraction=0.99)
+        assert {1, 2} <= suspects
+
+    def test_suspect_ases_empty_when_no_volume(self):
+        volumes = [{"l1": 0.0, "l2": 0.0} for _ in HISTORY]
+        result = SpoofLocalizer(final_clusters(), HISTORY).localize(volumes)
+        assert result.suspect_ases() == frozenset()
+
+    def test_suspect_fraction_validation(self):
+        volumes = [{"l1": 0.0, "l2": 0.0} for _ in HISTORY]
+        result = SpoofLocalizer(final_clusters(), HISTORY).localize(volumes)
+        with pytest.raises(ValueError):
+            result.suspect_ases(volume_fraction=0.0)
+
+    def test_evaluate_against_placement(self):
+        placement = SourcePlacement({4: 5})
+        volumes = [link_volumes(placement, catchments) for catchments in HISTORY]
+        result = SpoofLocalizer(final_clusters(), HISTORY).localize(volumes)
+        quality = result.evaluate_against(placement)
+        assert quality.recall == 1.0
+        assert quality.precision == 1.0
+
+    def test_top_limits_results(self):
+        placement = SourcePlacement({4: 5})
+        volumes = [link_volumes(placement, catchments) for catchments in HISTORY]
+        result = SpoofLocalizer(final_clusters(), HISTORY).localize(volumes)
+        assert len(result.top(2)) == 2
+
+
+class TestQuality:
+    def test_metrics(self):
+        quality = LocalizationQuality(
+            true_sources=4, sources_found=3, suspect_set_size=6
+        )
+        assert quality.recall == pytest.approx(0.75)
+        assert quality.precision == pytest.approx(0.5)
+
+    def test_degenerate(self):
+        quality = LocalizationQuality(0, 0, 0)
+        assert quality.recall == 1.0
+        assert quality.precision == 1.0
+
+
+class TestTrafficFractionBySize:
+    def test_single_source_all_in_its_cluster_size(self):
+        clusters = [frozenset({1}), frozenset({2, 3}), frozenset({4})]
+        placement = SourcePlacement({2: 1})
+        fractions = traffic_fraction_by_cluster_size(placement, clusters)
+        assert fractions[1] == pytest.approx(0.0)
+        assert fractions[2] == pytest.approx(1.0)
+
+    def test_cumulative_and_monotonic(self):
+        clusters = [frozenset({1}), frozenset({2, 3}), frozenset({4, 5, 6})]
+        placement = SourcePlacement({1: 1, 2: 1, 4: 2})
+        fractions = traffic_fraction_by_cluster_size(placement, clusters)
+        values = [fractions[size] for size in sorted(fractions)]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(1.0)
+
+    def test_max_size_truncates(self):
+        clusters = [frozenset({1}), frozenset(range(2, 10))]
+        placement = SourcePlacement({1: 1, 2: 1})
+        fractions = traffic_fraction_by_cluster_size(placement, clusters, max_size=3)
+        assert max(fractions) == 3
+        assert fractions[3] == pytest.approx(0.5)

@@ -1,0 +1,145 @@
+"""Cross-cutting tests: lazy package exports, CLI extras, combined
+announcement manipulations, figure3 with custom phases."""
+
+import pytest
+
+from repro.bgp.announcement import AnnouncementConfig
+from repro.cli import main
+from tests.conftest import A, B, C, M, ORIGIN, P1, T1, T2, build_mini_internet
+
+
+class TestPackageRoot:
+    def test_lazy_pipeline_exports(self):
+        import repro
+
+        assert repro.build_testbed is not None
+        assert repro.SpoofTracker is not None
+        assert repro.TrackerReport is not None
+
+    def test_unknown_attribute_raises(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2
+
+
+class TestCombinedManipulations:
+    """A configuration may prepend, poison, and tag communities at once."""
+
+    def simulate(self, config):
+        from repro.bgp.policy import PolicyModel
+        from repro.bgp.simulator import RoutingSimulator
+
+        mini = build_mini_internet()
+        policy = PolicyModel(
+            mini.graph,
+            policy_noise=0.0,
+            loop_prevention_disabled_fraction=0.0,
+            tier1_leak_filtering=False,
+        )
+        return RoutingSimulator(mini.graph, mini.origin, policy).simulate(config)
+
+    def test_everything_at_once(self):
+        config = AnnouncementConfig(
+            announced=frozenset(["l1", "l2"]),
+            prepended=frozenset(["l2"]),
+            poisoned={"l1": frozenset([M])},
+            no_export={"l2": frozenset([T2])},
+            prepend_count=2,
+        )
+        outcome = self.simulate(config)
+        # Poisoned M rejects every l1 path.  Its only alternative would be
+        # l2 via T1←T2, but the community blocks the P2→T2 export of l2,
+        # and T1 (a peer) would never re-export a peer-learned route to T2
+        # anyway — so the combination blacks M (and its customer C) out.
+        assert outcome.route(M) is None
+        assert outcome.route(C) is None
+        # T2 loses its customer path (community) and falls back to the l1
+        # route its peer T1 exports (customer-learned routes go to peers).
+        assert outcome.catchment_of(T2) == "l1"
+        # Prepending on l2 is visible in B's AS path length.
+        assert outcome.route(B).as_path.count(ORIGIN) >= 3
+
+    def test_poisoning_both_links_blacks_out_target(self):
+        config = AnnouncementConfig(
+            announced=frozenset(["l1", "l2"]),
+            poisoned={"l1": frozenset([T1]), "l2": frozenset([T1])},
+        )
+        outcome = self.simulate(config)
+        assert outcome.route(T1) is None
+        # T1's single-homed cone goes dark with it.
+        assert outcome.route(M) is None and outcome.route(C) is None
+        # The rest of the Internet is unaffected.
+        assert outcome.route(A) is not None and outcome.route(B) is not None
+
+
+class TestFigure3CustomPhases:
+    def test_custom_phase_uses_raw_name(self, small_testbed):
+        from repro.analysis.figures import EvaluationRun, figure3
+        from repro.core.configgen import ScheduleParams
+
+        run = EvaluationRun(
+            testbed=small_testbed,
+            schedule_params=ScheduleParams(
+                include_poisoning=True,
+                include_communities=True,
+                max_poison_targets=1,
+            ),
+            compute_compliance=False,
+        )
+        result = figure3(run)
+        names = [series.name for series in result.series]
+        assert "communities" in names  # falls back to the raw phase tag
+
+
+class TestCliExtras:
+    def test_figures_with_plot(self, capsys):
+        code = main(
+            ["--seed", "2", "figures", "figure9", "--max-configs", "8", "--plot"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Cumulative Fraction of Configurations" in out
+        assert "|" in out  # the ASCII raster
+
+    def test_dataset_subcommand(self, tmp_path, capsys):
+        output = tmp_path / "ds.json"
+        code = main(
+            ["--seed", "2", "dataset", "--max-configs", "4", "--output", str(output)]
+        )
+        assert code == 0
+        from repro.data import Dataset
+
+        dataset = Dataset.load(output)
+        assert len(dataset) == 4
+        assert dataset.meta["seed"] == 2
+
+    def test_track_with_split(self, capsys):
+        code = main(
+            [
+                "--seed",
+                "2",
+                "track",
+                "--max-configs",
+                "20",
+                "--split-threshold",
+                "6",
+            ]
+        )
+        assert code == 0
+        assert "configurations deployed" in capsys.readouterr().out
+
+
+class TestReportSampling:
+    def test_two_point_series(self):
+        from repro.analysis.figures import Series
+        from repro.analysis.report import render_series
+
+        series = Series("tiny", ((1.0, 2.0), (3.0, 4.0)))
+        text = render_series(series, max_points=10)
+        assert text.count("x=") == 2

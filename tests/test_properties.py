@@ -1,0 +1,258 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import ccdf_points, cdf_points, percentile
+from repro.bgp.announcement import AnnouncementConfig
+from repro.bgp.policy import PolicyModel
+from repro.bgp.simulator import RoutingSimulator
+from repro.core.clustering import ClusterState
+from repro.errors import MappingError
+from repro.measurement.ip2as import PrefixTrie
+from repro.types import Prefix, path_without_prepending
+from repro.topology.generator import TopologyParams, generate_topology
+from repro.topology.peering import attach_origin
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+asns = st.integers(min_value=1, max_value=10**6)
+as_paths = st.lists(asns, min_size=0, max_size=12).map(tuple)
+
+
+def prefix_strategy():
+    def build(length, seedbits):
+        mask = (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF if length else 0
+        return Prefix(seedbits & mask, length)
+
+    return st.builds(
+        build,
+        st.integers(min_value=0, max_value=32),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+
+
+# ----------------------------------------------------------------------
+# AS-path helpers
+# ----------------------------------------------------------------------
+
+
+class TestPathCollapse:
+    @given(as_paths)
+    def test_idempotent(self, path):
+        collapsed = path_without_prepending(path)
+        assert path_without_prepending(collapsed) == collapsed
+
+    @given(as_paths)
+    def test_no_consecutive_duplicates(self, path):
+        collapsed = path_without_prepending(path)
+        assert all(a != b for a, b in zip(collapsed, collapsed[1:]))
+
+    @given(as_paths.filter(lambda p: len(p) > 0))
+    def test_preserves_endpoints_and_order(self, path):
+        collapsed = path_without_prepending(path)
+        assert collapsed[0] == path[0]
+        assert collapsed[-1] == path[-1]
+        # Collapsed is a subsequence of the original.
+        iterator = iter(path)
+        assert all(any(x == item for item in iterator) for x in collapsed)
+
+
+# ----------------------------------------------------------------------
+# Prefix trie vs linear scan
+# ----------------------------------------------------------------------
+
+
+class TestTrieMatchesLinearScan:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(prefix_strategy(), min_size=1, max_size=30),
+        st.lists(st.integers(min_value=0, max_value=2**32 - 1), min_size=1, max_size=30),
+    )
+    def test_lpm_equivalence(self, prefixes, addresses):
+        trie = PrefixTrie()
+        inserted = []
+        for index, prefix in enumerate(prefixes):
+            try:
+                trie.insert(prefix, index)
+                inserted.append((prefix, index))
+            except MappingError:
+                pass  # duplicate prefix with different value
+        for address in addresses:
+            expected, best = None, -1
+            for prefix, value in inserted:
+                if prefix.contains_address(address) and prefix.length > best:
+                    expected, best = value, prefix.length
+            assert trie.lookup(address) == expected
+
+
+# ----------------------------------------------------------------------
+# Cluster refinement invariants
+# ----------------------------------------------------------------------
+
+universes = st.sets(asns, min_size=1, max_size=40)
+
+
+class TestClusterInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(universes, st.lists(st.sets(asns, max_size=25), max_size=8))
+    def test_always_a_partition(self, universe, catchments):
+        state = ClusterState(universe)
+        for catchment in catchments:
+            state.refine(catchment)
+        seen = set()
+        for cluster in state.clusters():
+            assert cluster, "empty cluster"
+            assert not cluster & seen, "overlapping clusters"
+            seen |= cluster
+        assert seen == set(universe)
+
+    @settings(max_examples=60, deadline=None)
+    @given(universes, st.sets(asns, max_size=25))
+    def test_refine_idempotent(self, universe, catchment):
+        state = ClusterState(universe)
+        state.refine(catchment)
+        before = state.clusters()
+        assert state.refine(catchment) == 0
+        assert state.clusters() == before
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        universes,
+        st.lists(st.sets(asns, max_size=25), min_size=2, max_size=5),
+        st.randoms(use_true_random=False),
+    )
+    def test_final_partition_order_independent(self, universe, catchments, rnd):
+        ordered = ClusterState(universe)
+        for catchment in catchments:
+            ordered.refine(catchment)
+        shuffled_catchments = list(catchments)
+        rnd.shuffle(shuffled_catchments)
+        shuffled = ClusterState(universe)
+        for catchment in shuffled_catchments:
+            shuffled.refine(catchment)
+        assert ordered.clusters() == shuffled.clusters()
+
+    @settings(max_examples=60, deadline=None)
+    @given(universes, st.lists(st.sets(asns, max_size=25), max_size=6))
+    def test_mean_size_consistent(self, universe, catchments):
+        state = ClusterState(universe)
+        for catchment in catchments:
+            state.refine(catchment)
+        assert state.mean_size() * state.num_clusters() == len(universe)
+
+
+# ----------------------------------------------------------------------
+# Statistics
+# ----------------------------------------------------------------------
+
+
+class TestStatsProperties:
+    @given(st.lists(st.integers(min_value=1, max_value=100), min_size=1, max_size=50))
+    def test_ccdf_bounds_and_monotonicity(self, values):
+        points = ccdf_points(values)
+        ys = [y for _, y in points]
+        assert ys[0] == 1.0
+        assert all(0.0 < y <= 1.0 for y in ys)
+        assert ys == sorted(ys, reverse=True)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    def test_cdf_ends_at_one(self, values):
+        points = cdf_points(values)
+        assert points[-1][1] == 1.0
+
+    @given(
+        st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_percentile_within_range(self, values, pct):
+        result = percentile(values, pct)
+        assert min(values) <= result <= max(values)
+
+
+# ----------------------------------------------------------------------
+# Announcement AS-path construction
+# ----------------------------------------------------------------------
+
+
+class TestAnnouncementProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.sets(asns, max_size=3),
+        st.booleans(),
+    )
+    def test_announced_path_structure(self, prepend_count, poisons, prepend):
+        config = AnnouncementConfig(
+            announced=frozenset(["l1"]),
+            prepended=frozenset(["l1"]) if prepend else frozenset(),
+            poisoned={"l1": frozenset(poisons)} if poisons else {},
+            prepend_count=prepend_count,
+        )
+        origin = 47065
+        path = config.as_path_for_link(origin, "l1")
+        copies = 1 + (prepend_count if prepend else 0)
+        assert path[0] == origin
+        assert path[-1] == origin
+        assert len(path) == copies + 2 * len(poisons - {origin})
+        for poisoned in poisons - {origin}:
+            index = path.index(poisoned)
+            assert path[index - 1] == origin and path[index + 1] == origin
+
+
+# ----------------------------------------------------------------------
+# BGP simulator invariants on random topologies
+# ----------------------------------------------------------------------
+
+
+class TestSimulatorInvariants:
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=2, max_value=4),
+        st.floats(min_value=0.0, max_value=0.2),
+    )
+    def test_outcome_invariants(self, seed, num_links, noise):
+        topo = generate_topology(
+            TopologyParams(num_tier1=3, num_transit=12, num_stub=30, seed=seed)
+        )
+        origin = attach_origin(topo, num_links=num_links, seed=seed)
+        policy = PolicyModel(topo.graph, seed=seed, policy_noise=noise)
+        simulator = RoutingSimulator(topo.graph, origin, policy)
+        rng = random.Random(seed)
+        links = origin.link_ids
+        announced = frozenset(rng.sample(links, rng.randint(1, len(links))))
+        config = AnnouncementConfig(
+            announced=announced,
+            prepended=frozenset(
+                rng.sample(sorted(announced), rng.randint(0, 1))
+            ),
+        )
+        outcome = simulator.simulate(config)
+        assert outcome.converged
+        # Catchments partition the covered ASes.
+        union = set()
+        for link, members in outcome.catchments.items():
+            assert link in announced
+            assert not members & union
+            union |= members
+        assert union == set(outcome.covered_ases)
+        # Forwarding paths are loop-free and terminate at the origin.
+        for asn in outcome.covered_ases:
+            path = outcome.forwarding_path(asn)
+            assert len(path) == len(set(path))
+            assert path[-1] == origin.asn
+        # Control-plane paths end at the origin and enter via the right
+        # provider for the claimed link.
+        for asn, route in outcome.routes.items():
+            assert route.as_path[-1] == origin.asn
+            first_origin = route.as_path.index(origin.asn)
+            if first_origin > 0:
+                provider = route.as_path[first_origin - 1]
+                assert origin.link_toward_provider(provider).link_id == (
+                    route.link_id
+                )

@@ -1,0 +1,102 @@
+"""Property-based tests for schedule generation and graph invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.configgen import (
+    expected_location_count,
+    expected_prepend_count,
+    location_configs,
+    prepend_configs,
+)
+from repro.topology.generator import TopologyParams, generate_topology
+
+
+def binomial(n, k):
+    return math.comb(n, k)
+
+
+link_counts = st.integers(min_value=1, max_value=9)
+removals = st.integers(min_value=0, max_value=6)
+
+
+class TestScheduleCountFormulas:
+    @given(link_counts, removals)
+    def test_location_count_matches_formula(self, num_links, max_removed):
+        links = [f"l{i}" for i in range(num_links)]
+        configs = location_configs(links, max_removed)
+        assert len(configs) == expected_location_count(num_links, max_removed)
+        deepest = min(max_removed, num_links - 1)
+        manual = sum(
+            binomial(num_links, num_links - removed)
+            for removed in range(deepest + 1)
+        )
+        assert len(configs) == manual
+
+    @given(link_counts, removals)
+    def test_prepend_count_matches_formula(self, num_links, max_removed):
+        links = [f"l{i}" for i in range(num_links)]
+        bases = location_configs(links, max_removed)
+        prepends = prepend_configs(bases, max_prepend_size=1)
+        assert len(prepends) == expected_prepend_count(num_links, max_removed)
+
+    @given(link_counts, removals)
+    def test_all_configs_distinct(self, num_links, max_removed):
+        links = [f"l{i}" for i in range(num_links)]
+        configs = location_configs(links, max_removed)
+        configs += prepend_configs(configs, max_prepend_size=1)
+        keys = {config.key() for config in configs}
+        assert len(keys) == len(configs)
+
+    @given(link_counts, removals)
+    def test_sizes_never_below_one(self, num_links, max_removed):
+        links = [f"l{i}" for i in range(num_links)]
+        for config in location_configs(links, max_removed):
+            assert 1 <= len(config.announced) <= num_links
+
+    @given(link_counts)
+    def test_first_config_is_full_anycast(self, num_links):
+        links = [f"l{i}" for i in range(num_links)]
+        configs = location_configs(links, 2)
+        assert configs[0].announced == frozenset(links)
+
+
+class TestGraphInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=5, max_value=25),
+        st.integers(min_value=10, max_value=60),
+    )
+    def test_generated_topology_invariants(
+        self, seed, num_tier1, num_transit, num_stub
+    ):
+        topo = generate_topology(
+            TopologyParams(
+                num_tier1=num_tier1,
+                num_transit=num_transit,
+                num_stub=num_stub,
+                seed=seed,
+            )
+        )
+        graph = topo.graph
+        graph.validate()
+        # Tier-1s are exactly the provider-free ASes.
+        assert set(topo.tier1) == set(graph.tier1_ases())
+        # Customer cones nest: a provider's cone contains each customer's.
+        for asn in topo.transit[:5]:
+            cone = graph.customer_cone(asn)
+            for customer in graph.customers(asn):
+                assert graph.customer_cone(customer) <= cone
+        # Stubs have empty customer cones beyond themselves.
+        for asn in topo.stubs[:10]:
+            assert graph.customer_cone(asn) == frozenset({asn})
+        # BFS distances: every neighbor differs by at most 1.
+        sources = topo.tier1[:1]
+        distances = graph.hop_distances(sources)
+        for asn in list(graph.ases)[:50]:
+            for neighbor in graph.neighbors(asn):
+                assert abs(distances[asn] - distances[neighbor]) <= 1

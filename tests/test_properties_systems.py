@@ -1,0 +1,229 @@
+"""Property-based tests on cross-module system invariants."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.announcement import AnnouncementConfig
+from repro.bgp.convergence import ConvergenceEngine, ConvergenceParams
+from repro.bgp.policy import PolicyModel
+from repro.bgp.simulator import RoutingSimulator
+from repro.data import Dataset
+from repro.measurement.catchment import CatchmentHistory
+from repro.mitigation import BlackholeRule, FlowspecRule, evaluate_mitigation
+from repro.spoof.sources import SourcePlacement
+from repro.topology.generator import TopologyParams, generate_topology
+from repro.topology.geography import GeographyModel
+from repro.topology.peering import attach_origin
+
+# ----------------------------------------------------------------------
+# Event-driven convergence ≡ synchronous fixpoint
+# ----------------------------------------------------------------------
+
+
+class TestConvergenceEquivalence:
+    @settings(
+        max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(
+        st.integers(min_value=0, max_value=500),
+        st.floats(min_value=0.0, max_value=0.15),
+        st.booleans(),
+        st.floats(min_value=0.0, max_value=10.0),
+    )
+    def test_engines_agree(self, seed, noise, use_geography, mrai):
+        topo = generate_topology(
+            TopologyParams(num_tier1=3, num_transit=12, num_stub=40, seed=seed)
+        )
+        origin = attach_origin(topo, num_links=3, seed=seed)
+        geography = (
+            GeographyModel.random(topo.graph.ases, seed=seed)
+            if use_geography
+            else None
+        )
+        policy = PolicyModel(
+            topo.graph, seed=seed, policy_noise=noise, geography=geography
+        )
+        rng = random.Random(seed)
+        links = origin.link_ids
+        announced = frozenset(rng.sample(links, rng.randint(1, len(links))))
+        config = AnnouncementConfig(
+            announced=announced,
+            prepended=frozenset(rng.sample(sorted(announced), rng.randint(0, 1))),
+        )
+        fixpoint = RoutingSimulator(topo.graph, origin, policy).simulate(config)
+        engine = ConvergenceEngine(
+            topo.graph, origin, policy, ConvergenceParams(mrai_seconds=mrai)
+        )
+        result = engine.run(config)
+        assert result.agrees_with(fixpoint)
+        assert result.convergence_time >= 0.0
+        assert result.messages_sent >= len(result.routes)
+
+
+# ----------------------------------------------------------------------
+# Dataset roundtrip
+# ----------------------------------------------------------------------
+
+link_names = st.sampled_from(["l1", "l2", "l3", "l4"])
+asns = st.integers(min_value=1, max_value=100000)
+
+
+@st.composite
+def dataset_strategy(draw):
+    links = sorted(draw(st.sets(link_names, min_size=1, max_size=4)))
+    num_configs = draw(st.integers(min_value=1, max_value=5))
+    configs = []
+    assignments = []
+    for _ in range(num_configs):
+        announced = sorted(
+            draw(st.sets(st.sampled_from(links), min_size=1, max_size=len(links)))
+        )
+        prepended = draw(
+            st.sets(st.sampled_from(announced), max_size=len(announced))
+        )
+        poisons = draw(st.dictionaries(
+            st.sampled_from(announced), st.sets(asns, min_size=1, max_size=2),
+            max_size=2,
+        ))
+        configs.append(
+            AnnouncementConfig(
+                announced=frozenset(announced),
+                prepended=frozenset(prepended),
+                poisoned={k: frozenset(v) for k, v in poisons.items()},
+                label=draw(st.text(max_size=8)),
+                phase=draw(st.sampled_from(["locations", "prepending", ""])),
+            )
+        )
+        assignments.append(
+            draw(
+                st.dictionaries(asns, st.sampled_from(announced), max_size=10)
+            )
+        )
+    return Dataset.from_history(links, configs, assignments)
+
+
+class TestDatasetRoundtrip:
+    @settings(max_examples=40, deadline=None)
+    @given(dataset_strategy())
+    def test_json_roundtrip_preserves_everything(self, dataset):
+        restored = Dataset.from_json_dict(dataset.to_json_dict())
+        assert restored.links == dataset.links
+        assert len(restored) == len(dataset)
+        for mine, theirs in zip(dataset.records, restored.records):
+            assert mine.config.key() == theirs.config.key()
+            assert mine.config.label == theirs.config.label
+            assert mine.assignment == theirs.assignment
+        assert restored.catchment_history() == dataset.catchment_history()
+
+
+# ----------------------------------------------------------------------
+# Mitigation invariants
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def mitigation_case(draw):
+    members = draw(st.sets(asns, min_size=2, max_size=20))
+    ordered = sorted(members)
+    half = len(ordered) // 2
+    catchments = {
+        "l1": frozenset(ordered[:half] or ordered[:1]),
+        "l2": frozenset(ordered[half:] or ordered[-1:]),
+    }
+    sources = draw(
+        st.dictionaries(
+            st.sampled_from(ordered), st.integers(min_value=1, max_value=5),
+            min_size=1, max_size=5,
+        )
+    )
+    rule_ases = draw(st.sets(st.sampled_from(ordered), min_size=1, max_size=5))
+    return catchments, SourcePlacement(sources), frozenset(rule_ases)
+
+
+class TestMitigationInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(mitigation_case())
+    def test_fractions_bounded_and_blackhole_dominates(self, case):
+        catchments, placement, rule_ases = case
+        flowspec = [FlowspecRule(source_ases=rule_ases)]
+        flow_report = evaluate_mitigation(flowspec, placement, catchments)
+        hole_report = evaluate_mitigation([BlackholeRule()], placement, catchments)
+        for report in (flow_report, hole_report):
+            assert 0.0 <= report.attack_volume_dropped <= 1.0
+            assert 0.0 <= report.legitimate_volume_dropped <= 1.0
+        assert hole_report.attack_volume_dropped >= flow_report.attack_volume_dropped
+        assert (
+            hole_report.legitimate_volume_dropped
+            >= flow_report.legitimate_volume_dropped
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(mitigation_case())
+    def test_more_rules_drop_weakly_more(self, case):
+        catchments, placement, rule_ases = case
+        some = [FlowspecRule(source_ases=rule_ases)]
+        ordered = sorted(rule_ases)
+        fewer = [FlowspecRule(source_ases=frozenset(ordered[:1]))]
+        more_report = evaluate_mitigation(some, placement, catchments)
+        less_report = evaluate_mitigation(fewer, placement, catchments)
+        assert (
+            more_report.attack_volume_dropped
+            >= less_report.attack_volume_dropped - 1e-12
+        )
+
+
+# ----------------------------------------------------------------------
+# smax imputation invariants
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def history_case(draw):
+    universe = sorted(draw(st.sets(asns, min_size=2, max_size=12)))
+    num_configs = draw(st.integers(min_value=1, max_value=5))
+    history = CatchmentHistory(universe)
+    for _ in range(num_configs):
+        assignment = draw(
+            st.dictionaries(
+                st.sampled_from(universe), st.sampled_from(["l1", "l2", "l3"]),
+                max_size=len(universe),
+            )
+        )
+        history.add(assignment)
+    return history
+
+
+class TestImputationInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(history_case())
+    def test_imputation_only_adds(self, history):
+        raw = history.catchment_maps(["l1", "l2", "l3"], imputed=False)
+        imputed = history.imputed_assignments()
+        assert len(imputed) == len(history)
+        for index, assignment in enumerate(imputed):
+            for link, members in raw[index].items():
+                for source in members:
+                    assert assignment[source] == link  # originals preserved
+
+    @settings(max_examples=60, deadline=None)
+    @given(history_case())
+    def test_imputed_links_actually_occur(self, history):
+        imputed = history.imputed_assignments()
+        for index, assignment in enumerate(imputed):
+            raw_links = set(
+                history.catchment_maps(["l1", "l2", "l3"], imputed=False)[index]
+            )
+            used = {
+                link
+                for link, members in history.catchment_maps(
+                    ["l1", "l2", "l3"], imputed=False
+                )[index].items()
+                if members
+            }
+            for source, link in assignment.items():
+                assert link in raw_links
+                # An imputed link must have been observed for someone in
+                # that configuration (smax was observed there).
+                assert link in used or not used

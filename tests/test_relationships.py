@@ -1,0 +1,77 @@
+"""Tests for relationship semantics and the valley-free export rule."""
+
+import pytest
+
+from repro.errors import RelationshipError
+from repro.topology.relationships import (
+    CAIDA_P2C,
+    CAIDA_P2P,
+    Relationship,
+    export_allowed,
+    relationship_from_caida,
+    relationship_to_caida,
+)
+
+
+class TestRelationship:
+    def test_inverse_pairs(self):
+        assert Relationship.CUSTOMER.inverse is Relationship.PROVIDER
+        assert Relationship.PROVIDER.inverse is Relationship.CUSTOMER
+        assert Relationship.PEER.inverse is Relationship.PEER
+
+    def test_local_preference_ordering(self):
+        assert (
+            Relationship.CUSTOMER.local_preference
+            > Relationship.PEER.local_preference
+            > Relationship.PROVIDER.local_preference
+        )
+
+    def test_preference_rank_matches_enum_order(self):
+        # Lower enum value = more preferred; used as a sort key elsewhere.
+        assert Relationship.CUSTOMER < Relationship.PEER < Relationship.PROVIDER
+
+
+class TestCaidaCodes:
+    def test_from_caida_p2c(self):
+        assert relationship_from_caida(CAIDA_P2C) is Relationship.CUSTOMER
+
+    def test_from_caida_p2p(self):
+        assert relationship_from_caida(CAIDA_P2P) is Relationship.PEER
+
+    def test_from_caida_unknown(self):
+        with pytest.raises(RelationshipError):
+            relationship_from_caida(3)
+
+    def test_to_caida_roundtrip(self):
+        assert relationship_to_caida(Relationship.CUSTOMER) == CAIDA_P2C
+        assert relationship_to_caida(Relationship.PEER) == CAIDA_P2P
+
+    def test_to_caida_provider_rejected(self):
+        with pytest.raises(RelationshipError):
+            relationship_to_caida(Relationship.PROVIDER)
+
+
+class TestExportRule:
+    """Gao-Rexford: customer routes go everywhere; peer/provider routes
+    only to customers."""
+
+    def test_customer_routes_exported_everywhere(self):
+        for export_to in Relationship:
+            assert export_allowed(Relationship.CUSTOMER, export_to)
+
+    def test_peer_routes_only_to_customers(self):
+        assert export_allowed(Relationship.PEER, Relationship.CUSTOMER)
+        assert not export_allowed(Relationship.PEER, Relationship.PEER)
+        assert not export_allowed(Relationship.PEER, Relationship.PROVIDER)
+
+    def test_provider_routes_only_to_customers(self):
+        assert export_allowed(Relationship.PROVIDER, Relationship.CUSTOMER)
+        assert not export_allowed(Relationship.PROVIDER, Relationship.PEER)
+        assert not export_allowed(Relationship.PROVIDER, Relationship.PROVIDER)
+
+    def test_no_valley_paths_possible(self):
+        """A route that went down (provider→customer) can never go up again:
+        once learned from a provider it is only exported to customers."""
+        downstream = Relationship.PROVIDER  # route learned from provider
+        assert not export_allowed(downstream, Relationship.PROVIDER)
+        assert not export_allowed(downstream, Relationship.PEER)

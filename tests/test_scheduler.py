@@ -1,0 +1,163 @@
+"""Tests for announcement scheduling (random vs greedy, §V-C)."""
+
+import pytest
+
+from repro.core.scheduler import (
+    GreedyScheduler,
+    VolumeAwareGreedyScheduler,
+    mean_cluster_size_curve,
+    percentile_curve,
+    random_schedule_curves,
+)
+from repro.errors import SchedulingError
+
+UNIVERSE = list(range(16))
+# Catchment histories of varying usefulness: config 0 splits in half,
+# config 1 splits quarters, config 2 is redundant with 0, config 3 fine.
+HISTORY = [
+    {"l1": frozenset(range(8)), "l2": frozenset(range(8, 16))},
+    {"l1": frozenset(list(range(4)) + list(range(8, 12))),
+     "l2": frozenset(list(range(4, 8)) + list(range(12, 16)))},
+    {"l1": frozenset(range(8)), "l2": frozenset(range(8, 16))},
+    {"l1": frozenset(range(0, 16, 2)), "l2": frozenset(range(1, 16, 2))},
+]
+
+
+class TestMeanCurve:
+    def test_curve_decreases_monotonically(self):
+        curve = mean_cluster_size_curve(UNIVERSE, HISTORY)
+        assert curve == sorted(curve, reverse=True)
+
+    def test_curve_values(self):
+        curve = mean_cluster_size_curve(UNIVERSE, HISTORY)
+        assert curve[0] == pytest.approx(8.0)   # halves
+        assert curve[1] == pytest.approx(4.0)   # quarters
+        assert curve[2] == pytest.approx(4.0)   # redundant
+        assert curve[3] == pytest.approx(2.0)
+
+    def test_custom_order(self):
+        curve = mean_cluster_size_curve(UNIVERSE, HISTORY, order=[3, 0])
+        assert curve[0] == pytest.approx(8.0)
+        assert curve[1] == pytest.approx(4.0)
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(SchedulingError):
+            mean_cluster_size_curve(UNIVERSE, HISTORY, order=[0, 0])
+        with pytest.raises(SchedulingError):
+            mean_cluster_size_curve(UNIVERSE, HISTORY, order=[99])
+
+
+class TestRandomSchedules:
+    def test_shapes(self):
+        curves = random_schedule_curves(UNIVERSE, HISTORY, num_sequences=5, seed=1)
+        assert len(curves) == 5
+        assert all(len(curve) == len(HISTORY) for curve in curves)
+
+    def test_deterministic_per_seed(self):
+        a = random_schedule_curves(UNIVERSE, HISTORY, num_sequences=3, seed=2)
+        b = random_schedule_curves(UNIVERSE, HISTORY, num_sequences=3, seed=2)
+        assert a == b
+
+    def test_max_steps(self):
+        curves = random_schedule_curves(
+            UNIVERSE, HISTORY, num_sequences=2, seed=1, max_steps=2
+        )
+        assert all(len(curve) == 2 for curve in curves)
+
+    def test_rejects_zero_sequences(self):
+        with pytest.raises(SchedulingError):
+            random_schedule_curves(UNIVERSE, HISTORY, num_sequences=0)
+
+    def test_all_orders_end_at_same_partition(self):
+        curves = random_schedule_curves(UNIVERSE, HISTORY, num_sequences=10, seed=3)
+        finals = {curve[-1] for curve in curves}
+        assert len(finals) == 1  # refinement is order-independent at the end
+
+
+class TestGreedy:
+    def test_greedy_picks_most_informative_first(self):
+        scheduler = GreedyScheduler(UNIVERSE, HISTORY)
+        order, curve = scheduler.run()
+        # Config 1 creates 2 splits immediately (quarters)?  Config 0 and 1
+        # both split once per catchment; greedy must never pick the
+        # redundant config 2 before config 0.
+        assert 2 not in order or order.index(0) < order.index(2)
+
+    def test_greedy_curve_matches_replay(self):
+        scheduler = GreedyScheduler(UNIVERSE, HISTORY)
+        order, curve = scheduler.run()
+        replay = mean_cluster_size_curve(UNIVERSE, HISTORY, order=order)
+        assert curve == pytest.approx(replay)
+
+    def test_greedy_stops_when_nothing_splits(self):
+        scheduler = GreedyScheduler(UNIVERSE, HISTORY)
+        order, _ = scheduler.run()
+        # Config 2 is fully redundant with config 0: once 0, 1, 3 are
+        # deployed nothing remains to split, so the greedy stops early.
+        assert len(order) == 3
+        assert 2 not in order
+
+    def test_greedy_beats_or_ties_random_median_early(self):
+        scheduler = GreedyScheduler(UNIVERSE, HISTORY)
+        _, greedy_curve = scheduler.run(max_steps=2)
+        random_curves = random_schedule_curves(
+            UNIVERSE, HISTORY, num_sequences=30, seed=4, max_steps=2
+        )
+        median = percentile_curve(random_curves, 50.0)
+        assert greedy_curve[0] <= median[0]
+        assert greedy_curve[1] <= median[1]
+
+    def test_max_steps_respected(self):
+        scheduler = GreedyScheduler(UNIVERSE, HISTORY)
+        order, curve = scheduler.run(max_steps=1)
+        assert len(order) == 1 and len(curve) == 1
+
+    def test_rejects_empty_history(self):
+        with pytest.raises(SchedulingError):
+            GreedyScheduler(UNIVERSE, [])
+
+
+class TestVolumeAwareGreedy:
+    def test_prioritizes_high_volume_cluster_splits(self):
+        # Heavy volume on sources 8..15; config 0 separates them from the
+        # rest, config 3 splits everything evenly.  The volume-aware
+        # scheduler should first deploy whichever cuts weighted cost most.
+        volume = {asn: (10.0 if asn >= 8 else 0.1) for asn in UNIVERSE}
+        scheduler = VolumeAwareGreedyScheduler(UNIVERSE, HISTORY, volume)
+        order, curve = scheduler.run(max_steps=3)
+        assert curve == sorted(curve, reverse=True)
+        assert order  # deployed something
+
+    def test_weighted_cost_decreases(self):
+        volume = {asn: 1.0 for asn in UNIVERSE}
+        scheduler = VolumeAwareGreedyScheduler(UNIVERSE, HISTORY, volume)
+        _, curve = scheduler.run()
+        assert curve == sorted(curve, reverse=True)
+
+    def test_zero_volume_everywhere_stops_immediately(self):
+        scheduler = VolumeAwareGreedyScheduler(UNIVERSE, HISTORY, {})
+        order, curve = scheduler.run()
+        assert order == [] and curve == []
+
+
+class TestPercentileCurve:
+    def test_median_of_known_curves(self):
+        curves = [[1.0, 1.0], [2.0, 3.0], [3.0, 5.0]]
+        assert percentile_curve(curves, 50.0) == [2.0, 3.0]
+
+    def test_extremes(self):
+        curves = [[1.0], [2.0], [3.0]]
+        assert percentile_curve(curves, 0.0) == [1.0]
+        assert percentile_curve(curves, 100.0) == [3.0]
+
+    def test_truncates_to_shortest(self):
+        curves = [[1.0, 2.0], [3.0]]
+        assert len(percentile_curve(curves, 50.0)) == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(SchedulingError):
+            percentile_curve([], 50.0)
+
+    def test_rejects_bad_percentile(self):
+        with pytest.raises(ValueError):
+            percentile_curve([[1.0]], 200.0)

@@ -1,0 +1,125 @@
+"""Tests for spoofing-source placement distributions."""
+
+import random
+
+import pytest
+
+from repro.spoof.sources import (
+    PARETO_8020_SHAPE,
+    PLACEMENT_DISTRIBUTIONS,
+    SourcePlacement,
+    make_placement,
+    pareto_placement,
+    single_source_placement,
+    uniform_placement,
+)
+
+ASES = list(range(100, 400))
+
+
+class TestSourcePlacement:
+    def test_total_sources(self):
+        placement = SourcePlacement({1: 2, 2: 3})
+        assert placement.total_sources == 5
+
+    def test_spoofing_ases(self):
+        placement = SourcePlacement({1: 2, 2: 3})
+        assert placement.spoofing_ases == frozenset({1, 2})
+
+    def test_volume_proportional_to_sources(self):
+        placement = SourcePlacement({1: 1, 2: 3})
+        volumes = placement.volume_by_as(total_volume=8.0)
+        assert volumes[1] == pytest.approx(2.0)
+        assert volumes[2] == pytest.approx(6.0)
+
+    def test_volume_fractions_sum_to_one(self):
+        placement = SourcePlacement({1: 2, 2: 5, 3: 1})
+        assert sum(placement.volume_by_as().values()) == pytest.approx(1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SourcePlacement({})
+
+    def test_rejects_nonpositive_counts(self):
+        with pytest.raises(ValueError):
+            SourcePlacement({1: 0})
+
+
+class TestUniform:
+    def test_places_all_sources(self):
+        placement = uniform_placement(ASES, 50, random.Random(1))
+        assert placement.total_sources == 50
+        assert placement.spoofing_ases <= set(ASES)
+        assert placement.distribution == "uniform"
+
+    def test_deterministic_with_seed(self):
+        a = uniform_placement(ASES, 30, random.Random(7))
+        b = uniform_placement(ASES, 30, random.Random(7))
+        assert a.sources_by_as == b.sources_by_as
+
+    def test_spread_is_broad(self):
+        placement = uniform_placement(ASES, 200, random.Random(2))
+        # Uniform over 300 ASes: no AS should dominate.
+        assert max(placement.sources_by_as.values()) <= 6
+
+    def test_rejects_zero_sources(self):
+        with pytest.raises(ValueError):
+            uniform_placement(ASES, 0)
+
+    def test_rejects_empty_ases(self):
+        with pytest.raises(ValueError):
+            uniform_placement([], 5)
+
+
+class TestPareto:
+    def test_places_all_sources(self):
+        placement = pareto_placement(ASES, 100, random.Random(3))
+        assert placement.total_sources == 100
+        assert placement.distribution == "pareto"
+
+    def test_heavy_concentration(self):
+        """With the 80/20 shape, the top 20% of spoofing ASes should hold
+        clearly more than 20% of the sources."""
+        placement = pareto_placement(ASES, 2000, random.Random(4))
+        counts = sorted(placement.sources_by_as.values(), reverse=True)
+        top20 = counts[: max(1, len(counts) // 5)]
+        assert sum(top20) / placement.total_sources > 0.4
+
+    def test_more_concentrated_than_uniform(self):
+        rng = random.Random(5)
+        pareto = pareto_placement(ASES, 1000, rng)
+        uniform = uniform_placement(ASES, 1000, random.Random(5))
+        assert max(pareto.sources_by_as.values()) > max(
+            uniform.sources_by_as.values()
+        )
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            pareto_placement(ASES, 10, random.Random(1), shape=0.0)
+
+    def test_8020_shape_constant(self):
+        # log(5)/log(4) ≈ 1.1606
+        assert 1.15 < PARETO_8020_SHAPE < 1.17
+
+
+class TestSingle:
+    def test_one_source_one_as(self):
+        placement = single_source_placement(ASES, random.Random(6))
+        assert placement.total_sources == 1
+        assert len(placement.spoofing_ases) == 1
+        assert placement.distribution == "single"
+
+
+class TestDispatch:
+    def test_known_distributions(self):
+        for name in PLACEMENT_DISTRIBUTIONS:
+            placement = make_placement(name, ASES, 10, random.Random(1))
+            assert placement.distribution == name
+
+    def test_single_ignores_count(self):
+        placement = make_placement("single", ASES, 10, random.Random(1))
+        assert placement.total_sources == 1
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            make_placement("zipf", ASES, 10)

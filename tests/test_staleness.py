@@ -1,0 +1,109 @@
+"""Tests for catchment staleness / route drift (§V-C trade-off)."""
+
+import pytest
+
+from repro.bgp.announcement import anycast_all
+from repro.bgp.simulator import RoutingSimulator
+from repro.core.configgen import ScheduleParams, generate_schedule
+from repro.core.staleness import StalenessExperiment, churned_policy
+
+
+@pytest.fixture(scope="module")
+def experiment(request):
+    small_testbed = request.getfixturevalue("small_testbed")
+    schedule = generate_schedule(
+        small_testbed.origin,
+        small_testbed.graph,
+        ScheduleParams(include_poisoning=False),
+    )[:20]
+    return small_testbed, StalenessExperiment(
+        small_testbed.graph,
+        small_testbed.origin,
+        small_testbed.policy,
+        schedule,
+    )
+
+
+class TestChurnedPolicy:
+    def test_zero_drift_is_identity(self, small_testbed):
+        assert churned_policy(small_testbed.policy, 0.0) is small_testbed.policy
+
+    def test_drift_changes_some_salts(self, small_testbed):
+        drifted = churned_policy(small_testbed.policy, 0.5, churn_seed=2)
+        base_salt = small_testbed.policy.tiebreak_salt
+        salts = {drifted.salt_for(asn) for asn in small_testbed.graph.ases}
+        assert base_salt in salts  # undrifted ASes keep theirs
+        assert len(salts) == 2     # drifted ASes share the shifted salt
+
+    def test_full_drift_shifts_many(self, small_testbed):
+        drifted = churned_policy(small_testbed.policy, 1.0)
+        base_salt = small_testbed.policy.tiebreak_salt
+        shifted = sum(
+            1
+            for asn in small_testbed.graph.ases
+            if drifted.salt_for(asn) != base_salt
+        )
+        assert shifted == len(small_testbed.graph)
+
+    def test_preserves_policy_structure(self, small_testbed):
+        """Drift only re-rolls tie-breaks; LocalPref tables and loop
+        prevention carry over unchanged."""
+        drifted = churned_policy(small_testbed.policy, 0.7)
+        for asn in sorted(small_testbed.graph.ases)[:50]:
+            assert drifted.follows_gao_rexford(asn) == (
+                small_testbed.policy.follows_gao_rexford(asn)
+            )
+            assert drifted.loop_prevention_enabled(asn) == (
+                small_testbed.policy.loop_prevention_enabled(asn)
+            )
+
+    def test_rejects_bad_drift(self, small_testbed):
+        with pytest.raises(ValueError):
+            churned_policy(small_testbed.policy, 1.5)
+
+    def test_drift_actually_moves_routes(self, small_testbed):
+        config = anycast_all(small_testbed.origin.link_ids)
+        baseline = small_testbed.simulator.simulate(config)
+        drifted_policy_model = churned_policy(small_testbed.policy, 1.0)
+        drifted = RoutingSimulator(
+            small_testbed.graph, small_testbed.origin, drifted_policy_model
+        ).simulate(config)
+        moved = sum(
+            1
+            for asn in baseline.covered_ases
+            if baseline.catchment_of(asn) != drifted.catchment_of(asn)
+        )
+        assert moved > 0
+        assert drifted.covered_ases == baseline.covered_ases
+
+
+class TestStalenessExperiment:
+    def test_zero_drift_perfect(self, experiment):
+        _, exp = experiment
+        point = exp.evaluate(0.0)
+        assert point.misplaced_fraction == 0.0
+        assert point.cluster_agreement == 1.0
+
+    def test_error_grows_with_drift(self, experiment):
+        _, exp = experiment
+        low = exp.evaluate(0.1)
+        high = exp.evaluate(1.0)
+        assert low.misplaced_fraction <= high.misplaced_fraction
+        assert high.misplaced_fraction > 0.0
+
+    def test_sweep_shape(self, experiment):
+        _, exp = experiment
+        points = exp.sweep((0.0, 0.5, 1.0))
+        assert [point.drift for point in points] == [0.0, 0.5, 1.0]
+        for point in points:
+            assert 0.0 <= point.misplaced_fraction <= 1.0
+            assert 0.0 <= point.cluster_agreement <= 1.0
+
+    def test_rejects_empty_schedule(self, small_testbed):
+        with pytest.raises(ValueError):
+            StalenessExperiment(
+                small_testbed.graph,
+                small_testbed.origin,
+                small_testbed.policy,
+                [],
+            )

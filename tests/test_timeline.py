@@ -1,0 +1,94 @@
+"""Tests for the campaign wall-clock model."""
+
+from datetime import timedelta
+
+import pytest
+
+from repro.core.timeline import (
+    PAPER_MINUTES_PER_CONFIG,
+    CampaignTimeline,
+    paper_campaign_duration,
+)
+
+
+class TestPaperNumbers:
+    def test_705_configs_take_about_a_month(self):
+        duration = paper_campaign_duration(705)
+        assert timedelta(days=30) < duration < timedelta(days=40)
+
+    def test_per_config_dwell(self):
+        assert paper_campaign_duration(1) == timedelta(
+            minutes=PAPER_MINUTES_PER_CONFIG
+        )
+
+    def test_analytic_dwell_close_to_papers_70_minutes(self):
+        timeline = CampaignTimeline()
+        assert 60 <= timeline.minutes_per_config <= 90
+
+
+class TestTimeline:
+    def test_duration_scales_linearly(self):
+        timeline = CampaignTimeline()
+        assert timeline.duration(10) == 10 * timeline.duration(1)
+
+    def test_zero_configs(self):
+        assert CampaignTimeline().duration(0) == timedelta(0)
+
+    def test_negative_configs_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignTimeline().duration(-1)
+
+    def test_concurrent_prefixes_divide_time(self):
+        single = CampaignTimeline(concurrent_prefixes=1)
+        quad = CampaignTimeline(concurrent_prefixes=4)
+        assert quad.duration(100) < single.duration(100)
+        # Ceil-division batching: 100 configs over 4 prefixes = 25 batches.
+        assert quad.duration(100) == single.duration(25)
+
+    def test_configs_per_day(self):
+        timeline = CampaignTimeline(concurrent_prefixes=2)
+        per_day = timeline.configs_per_day()
+        assert per_day == pytest.approx(
+            2 * 24 * 60 / timeline.minutes_per_config
+        )
+
+    def test_more_rounds_longer_dwell(self):
+        quick = CampaignTimeline(rounds_per_config=1)
+        thorough = CampaignTimeline(rounds_per_config=5)
+        assert thorough.minutes_per_config > quick.minutes_per_config
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CampaignTimeline(convergence_minutes=-1)
+        with pytest.raises(ValueError):
+            CampaignTimeline(probe_interval_minutes=0)
+        with pytest.raises(ValueError):
+            CampaignTimeline(rounds_per_config=0)
+        with pytest.raises(ValueError):
+            CampaignTimeline(concurrent_prefixes=0)
+
+
+class TestPrefixesNeeded:
+    def test_one_prefix_enough_for_long_deadline(self):
+        timeline = CampaignTimeline()
+        assert timeline.prefixes_needed(10, timedelta(days=2)) == 1
+
+    def test_tight_deadline_needs_many(self):
+        timeline = CampaignTimeline()
+        needed = timeline.prefixes_needed(705, timedelta(days=1))
+        assert needed > 10
+
+    def test_deadline_consistency(self):
+        """With the suggested prefixes, the campaign fits the deadline."""
+        timeline = CampaignTimeline()
+        deadline = timedelta(days=3)
+        needed = timeline.prefixes_needed(200, deadline)
+        scaled = CampaignTimeline(concurrent_prefixes=needed)
+        assert scaled.duration(200) <= deadline
+
+    def test_impossible_deadline_rejected(self):
+        timeline = CampaignTimeline()
+        with pytest.raises(ValueError):
+            timeline.prefixes_needed(5, timedelta(minutes=10))
+        with pytest.raises(ValueError):
+            timeline.prefixes_needed(5, timedelta(0))

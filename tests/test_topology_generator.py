@@ -1,0 +1,117 @@
+"""Tests for the synthetic topology generator."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.generator import (
+    GeneratedTopology,
+    TopologyParams,
+    generate_topology,
+)
+from repro.topology.relationships import Relationship
+
+
+class TestParams:
+    def test_total_ases(self):
+        params = TopologyParams(num_tier1=3, num_transit=10, num_stub=20)
+        assert params.total_ases == 33
+
+    def test_rejects_no_tier1(self):
+        with pytest.raises(TopologyError):
+            TopologyParams(num_tier1=0)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(TopologyError):
+            TopologyParams(num_transit=-1)
+
+    def test_rejects_bad_provider_choices(self):
+        with pytest.raises(TopologyError):
+            TopologyParams(transit_provider_choices=(3, 1))
+        with pytest.raises(TopologyError):
+            TopologyParams(stub_provider_choices=(0, 1))
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(TopologyError):
+            TopologyParams(transit_peering_probability=1.5)
+        with pytest.raises(TopologyError):
+            TopologyParams(stub_multihome_fraction=-0.1)
+
+
+class TestGeneration:
+    def test_counts_match_params(self):
+        params = TopologyParams(num_tier1=4, num_transit=20, num_stub=50, seed=1)
+        topo = generate_topology(params)
+        assert len(topo.tier1) == 4
+        assert len(topo.transit) == 20
+        assert len(topo.stubs) == 50
+        assert len(topo.graph) == params.total_ases
+
+    def test_graph_validates(self):
+        generate_topology(TopologyParams(seed=2)).graph.validate()
+
+    def test_tier1_forms_clique(self):
+        topo = generate_topology(TopologyParams(num_tier1=5, seed=3))
+        for i, a in enumerate(topo.tier1):
+            for b in topo.tier1[i + 1:]:
+                assert topo.graph.relationship(a, b) is Relationship.PEER
+
+    def test_tier1_has_no_providers(self):
+        topo = generate_topology(TopologyParams(seed=4))
+        for asn in topo.tier1:
+            assert topo.graph.providers(asn) == []
+
+    def test_stubs_have_providers_no_customers(self):
+        topo = generate_topology(TopologyParams(seed=5))
+        for asn in topo.stubs:
+            assert topo.graph.providers(asn)
+            assert topo.graph.customers(asn) == []
+
+    def test_deterministic_for_seed(self):
+        params = TopologyParams(num_transit=30, num_stub=60, seed=9)
+        first = generate_topology(params)
+        second = generate_topology(params)
+        assert list(first.graph.links()) == list(second.graph.links())
+
+    def test_different_seeds_differ(self):
+        a = generate_topology(TopologyParams(seed=1))
+        b = generate_topology(TopologyParams(seed=2))
+        assert list(a.graph.links()) != list(b.graph.links())
+
+    def test_all_ases_property(self):
+        topo = generate_topology(TopologyParams(seed=6))
+        assert set(topo.all_ases) == set(topo.graph.ases)
+
+    def test_heavy_tail_degree(self):
+        """Preferential attachment should produce a skewed transit degree
+        distribution: the max transit degree well above the median."""
+        topo = generate_topology(
+            TopologyParams(num_transit=80, num_stub=400, seed=7)
+        )
+        degrees = sorted(topo.graph.degree(asn) for asn in topo.transit)
+        median = degrees[len(degrees) // 2]
+        assert degrees[-1] >= 2 * median
+
+    def test_no_peering_when_probability_zero(self):
+        topo = generate_topology(
+            TopologyParams(
+                num_tier1=1, transit_peering_probability=0.0, seed=8
+            )
+        )
+        for asn in topo.transit:
+            assert topo.graph.peers(asn) == []
+
+    def test_zero_stubs(self):
+        topo = generate_topology(TopologyParams(num_stub=0, seed=1))
+        assert topo.stubs == []
+        topo.graph.validate()
+
+    def test_multihoming_fraction_effective(self):
+        topo = generate_topology(
+            TopologyParams(
+                num_stub=300, stub_multihome_fraction=1.0, seed=10
+            )
+        )
+        multihomed = sum(
+            1 for asn in topo.stubs if len(topo.graph.providers(asn)) >= 2
+        )
+        assert multihomed == len(topo.stubs)

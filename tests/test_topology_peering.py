@@ -1,0 +1,127 @@
+"""Tests for the origin network model and attachment."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.generator import TopologyParams, generate_topology
+from repro.topology.peering import (
+    PAPER_MUXES,
+    PEERING_ASN,
+    OriginNetwork,
+    PeeringLink,
+    attach_origin,
+)
+from repro.topology.relationships import Relationship
+
+
+def two_links():
+    return [
+        PeeringLink("l1", provider=100, provider_name="P-One"),
+        PeeringLink("l2", provider=200, provider_name="P-Two"),
+    ]
+
+
+class TestOriginNetwork:
+    def test_link_lookup(self):
+        origin = OriginNetwork(PEERING_ASN, two_links())
+        assert origin.link("l1").provider == 100
+        assert origin.provider_of("l2") == 200
+
+    def test_link_ids_sorted(self):
+        origin = OriginNetwork(PEERING_ASN, list(reversed(two_links())))
+        assert origin.link_ids == ["l1", "l2"]
+
+    def test_len(self):
+        assert len(OriginNetwork(PEERING_ASN, two_links())) == 2
+
+    def test_link_toward_provider(self):
+        origin = OriginNetwork(PEERING_ASN, two_links())
+        assert origin.link_toward_provider(200).link_id == "l2"
+
+    def test_link_toward_unknown_provider_raises(self):
+        origin = OriginNetwork(PEERING_ASN, two_links())
+        with pytest.raises(TopologyError):
+            origin.link_toward_provider(999)
+
+    def test_unknown_link_raises(self):
+        origin = OriginNetwork(PEERING_ASN, two_links())
+        with pytest.raises(TopologyError):
+            origin.link("nope")
+
+    def test_rejects_no_links(self):
+        with pytest.raises(TopologyError):
+            OriginNetwork(PEERING_ASN, [])
+
+    def test_rejects_duplicate_link_ids(self):
+        links = [
+            PeeringLink("l1", provider=100),
+            PeeringLink("l1", provider=200),
+        ]
+        with pytest.raises(TopologyError, match="duplicate"):
+            OriginNetwork(PEERING_ASN, links)
+
+    def test_rejects_shared_provider(self):
+        links = [
+            PeeringLink("l1", provider=100),
+            PeeringLink("l2", provider=100),
+        ]
+        with pytest.raises(TopologyError, match="distinct provider"):
+            OriginNetwork(PEERING_ASN, links)
+
+
+class TestAttachOrigin:
+    def test_attaches_requested_links(self):
+        topo = generate_topology(TopologyParams(seed=1))
+        origin = attach_origin(topo, num_links=7, seed=1)
+        assert len(origin) == 7
+        for link in origin.links:
+            assert topo.graph.relationship(origin.asn, link.provider) is (
+                Relationship.PROVIDER
+            )
+
+    def test_uses_paper_mux_names(self):
+        topo = generate_topology(TopologyParams(seed=1))
+        origin = attach_origin(topo, num_links=7, seed=1)
+        assert set(origin.link_ids) == {name for name, _, _ in PAPER_MUXES}
+
+    def test_generates_names_beyond_seven(self):
+        topo = generate_topology(TopologyParams(num_transit=40, seed=2))
+        origin = attach_origin(topo, num_links=9, seed=2)
+        assert len(origin.link_ids) == 9
+
+    def test_providers_are_transit_ases(self):
+        topo = generate_topology(TopologyParams(seed=3))
+        origin = attach_origin(topo, num_links=5, seed=3)
+        for link in origin.links:
+            assert link.provider in set(topo.transit)
+
+    def test_deterministic(self):
+        providers = []
+        for _ in range(2):
+            topo = generate_topology(TopologyParams(seed=4))
+            origin = attach_origin(topo, num_links=7, seed=4)
+            providers.append([link.provider for link in origin.links])
+        assert providers[0] == providers[1]
+
+    def test_rejects_existing_origin_asn(self):
+        topo = generate_topology(TopologyParams(seed=5))
+        attach_origin(topo, num_links=3, seed=5)
+        with pytest.raises(TopologyError, match="already present"):
+            attach_origin(topo, num_links=3, seed=5)
+
+    def test_rejects_too_many_links(self):
+        topo = generate_topology(TopologyParams(num_transit=4, seed=6))
+        with pytest.raises(TopologyError, match="candidate providers"):
+            attach_origin(topo, num_links=10, seed=6)
+
+    def test_providers_spread_across_degrees(self):
+        topo = generate_topology(
+            TopologyParams(num_transit=100, num_stub=300, seed=7)
+        )
+        origin = attach_origin(topo, num_links=7, seed=7)
+        degrees = sorted(
+            topo.graph.degree(link.provider) - 1  # minus the origin link
+            for link in origin.links
+        )
+        # The spread sampler must not pick only top-degree providers.
+        assert degrees[0] < degrees[-1]

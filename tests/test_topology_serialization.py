@@ -1,0 +1,89 @@
+"""Tests for CAIDA as-rel serialization."""
+
+import io
+
+import pytest
+
+from repro.errors import DataFormatError
+from repro.topology.generator import TopologyParams, generate_topology
+from repro.topology.relationships import Relationship
+from repro.topology.serialization import (
+    dump_as_rel,
+    dumps_as_rel,
+    load_as_rel,
+    loads_as_rel,
+)
+
+
+SAMPLE = """# comment line
+1|2|-1
+2|3|-1
+3|4|0
+"""
+
+
+class TestLoad:
+    def test_loads_provider_customer(self):
+        graph = loads_as_rel(SAMPLE)
+        assert graph.relationship(1, 2) is Relationship.CUSTOMER  # 1 provides 2
+        assert graph.relationship(2, 1) is Relationship.PROVIDER
+
+    def test_loads_peering(self):
+        graph = loads_as_rel(SAMPLE)
+        assert graph.relationship(3, 4) is Relationship.PEER
+
+    def test_skips_comments_and_blanks(self):
+        graph = loads_as_rel("# x\n\n1|2|0\n")
+        assert graph.num_links() == 1
+
+    def test_extra_fields_tolerated(self):
+        # Real CAIDA files carry a 4th field (inference method).
+        graph = loads_as_rel("1|2|-1|bgp\n")
+        assert graph.num_links() == 1
+
+    def test_rejects_short_line(self):
+        with pytest.raises(DataFormatError, match="line 1"):
+            loads_as_rel("1|2\n")
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(DataFormatError):
+            loads_as_rel("a|2|0\n")
+
+    def test_rejects_unknown_code(self):
+        with pytest.raises(DataFormatError, match="unknown"):
+            loads_as_rel("1|2|7\n")
+
+    def test_rejects_contradiction(self):
+        with pytest.raises(DataFormatError, match="line 2"):
+            loads_as_rel("1|2|0\n1|2|-1\n")
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "rels.txt"
+        path.write_text(SAMPLE)
+        graph = load_as_rel(path)
+        assert len(graph) == 4
+
+    def test_load_from_file_object(self):
+        graph = load_as_rel(io.StringIO(SAMPLE))
+        assert len(graph) == 4
+
+
+class TestDumpRoundtrip:
+    def test_roundtrip_generated_topology(self):
+        topo = generate_topology(
+            TopologyParams(num_tier1=3, num_transit=15, num_stub=40, seed=3)
+        )
+        text = dumps_as_rel(topo.graph)
+        restored = loads_as_rel(text)
+        assert list(restored.links()) == list(topo.graph.links())
+
+    def test_dump_to_file(self, tmp_path):
+        graph = loads_as_rel(SAMPLE)
+        path = tmp_path / "out.txt"
+        dump_as_rel(graph, path)
+        assert list(load_as_rel(path).links()) == list(graph.links())
+
+    def test_dump_writes_provider_side(self):
+        graph = loads_as_rel("5|3|-1\n")  # 5 provides for 3
+        text = dumps_as_rel(graph)
+        assert "5|3|-1" in text.replace(" ", "")

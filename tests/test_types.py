@@ -1,0 +1,128 @@
+"""Tests for repro.types: prefixes, address parsing, AS-path helpers."""
+
+import pytest
+
+from repro.types import (
+    Prefix,
+    format_ipv4,
+    parse_ipv4,
+    path_without_prepending,
+    validate_asn,
+)
+
+
+class TestValidateASN:
+    def test_accepts_valid_asn(self):
+        assert validate_asn(65000) == 65000
+
+    def test_accepts_32bit_asn(self):
+        assert validate_asn(2**32 - 1) == 2**32 - 1
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            validate_asn(0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            validate_asn(-5)
+
+    def test_rejects_too_large(self):
+        with pytest.raises(ValueError):
+            validate_asn(2**32)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValueError):
+            validate_asn(True)
+
+    def test_rejects_string(self):
+        with pytest.raises(ValueError):
+            validate_asn("65000")
+
+
+class TestParseFormatIPv4:
+    def test_roundtrip(self):
+        for text in ("0.0.0.0", "10.1.2.3", "255.255.255.255", "184.164.224.1"):
+            assert format_ipv4(parse_ipv4(text)) == text
+
+    def test_parse_known_value(self):
+        assert parse_ipv4("1.0.0.0") == 1 << 24
+
+    def test_parse_rejects_short(self):
+        with pytest.raises(ValueError):
+            parse_ipv4("1.2.3")
+
+    def test_parse_rejects_octet_overflow(self):
+        with pytest.raises(ValueError):
+            parse_ipv4("1.2.3.256")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_ipv4("a.b.c.d")
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            format_ipv4(2**32)
+
+    def test_format_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_ipv4(-1)
+
+
+class TestPrefix:
+    def test_parse_and_str_roundtrip(self):
+        prefix = Prefix.parse("192.0.2.0/24")
+        assert str(prefix) == "192.0.2.0/24"
+
+    def test_netmask(self):
+        assert Prefix.parse("10.0.0.0/8").netmask == 0xFF000000
+
+    def test_zero_length_covers_everything(self):
+        default = Prefix.parse("0.0.0.0/0")
+        assert default.contains_address(parse_ipv4("203.0.113.9"))
+        assert default.num_addresses == 2**32
+
+    def test_host_prefix(self):
+        host = Prefix.parse("192.0.2.1/32")
+        assert host.num_addresses == 1
+        assert host.first_address == host.last_address
+
+    def test_contains_address_boundaries(self):
+        prefix = Prefix.parse("192.0.2.0/24")
+        assert prefix.contains_address(prefix.first_address)
+        assert prefix.contains_address(prefix.last_address)
+        assert not prefix.contains_address(prefix.last_address + 1)
+        assert not prefix.contains_address(prefix.first_address - 1)
+
+    def test_contains_prefix(self):
+        outer = Prefix.parse("10.0.0.0/8")
+        inner = Prefix.parse("10.5.0.0/16")
+        assert outer.contains_prefix(inner)
+        assert not inner.contains_prefix(outer)
+        assert outer.contains_prefix(outer)
+
+    def test_rejects_host_bits(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("192.0.2.1/24")
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("10.0.0.0/33")
+
+    def test_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("10.0.0.0")
+
+
+class TestPathWithoutPrepending:
+    def test_collapses_consecutive_duplicates(self):
+        assert path_without_prepending((1, 1, 1, 2, 3, 3)) == (1, 2, 3)
+
+    def test_keeps_nonconsecutive_duplicates(self):
+        # Poison stuffing (o, u, o) must keep both origin occurrences.
+        assert path_without_prepending((5, 9, 5)) == (5, 9, 5)
+
+    def test_empty(self):
+        assert path_without_prepending(()) == ()
+
+    def test_single(self):
+        assert path_without_prepending((7,)) == (7,)

@@ -1,0 +1,88 @@
+"""Tests for Verfploeter-style active catchment measurement."""
+
+import pytest
+
+from repro.bgp.announcement import AnnouncementConfig, anycast_all
+from repro.errors import MeasurementError
+from repro.measurement.verfploeter import VerfploeterParams, VerfploeterProber
+
+
+def prober_for(testbed, responsiveness=0.7, seed=0):
+    return VerfploeterProber(
+        testbed.graph,
+        testbed.origin.asn,
+        VerfploeterParams(responsiveness=responsiveness, seed=seed),
+    )
+
+
+class TestParams:
+    def test_rejects_bad_responsiveness(self):
+        with pytest.raises(MeasurementError):
+            VerfploeterParams(responsiveness=1.5)
+
+
+class TestMeasurement:
+    def test_observed_links_exact(self, small_testbed):
+        outcome = small_testbed.simulator.simulate(
+            anycast_all(small_testbed.origin.link_ids)
+        )
+        assignment = prober_for(small_testbed).measure(outcome)
+        for source, link in assignment.items():
+            assert outcome.catchment_of(source) == link
+
+    def test_full_responsiveness_full_coverage(self, small_testbed):
+        outcome = small_testbed.simulator.simulate(
+            anycast_all(small_testbed.origin.link_ids)
+        )
+        prober = prober_for(small_testbed, responsiveness=1.0)
+        assignment = prober.measure(outcome)
+        assert set(assignment) == set(outcome.routes) - {small_testbed.origin.asn}
+        assert prober.coverage(outcome) == 1.0
+
+    def test_partial_responsiveness_partial_coverage(self, small_testbed):
+        outcome = small_testbed.simulator.simulate(
+            anycast_all(small_testbed.origin.link_ids)
+        )
+        prober = prober_for(small_testbed, responsiveness=0.5, seed=2)
+        coverage = prober.coverage(outcome)
+        assert 0.35 < coverage < 0.65
+
+    def test_responsiveness_stable_across_configs(self, small_testbed):
+        """The same AS is responsive (or not) in every configuration —
+        responsiveness is a property of the AS, not the route."""
+        prober = prober_for(small_testbed, responsiveness=0.5, seed=3)
+        full = small_testbed.simulator.simulate(
+            anycast_all(small_testbed.origin.link_ids)
+        )
+        partial = small_testbed.simulator.simulate(
+            AnnouncementConfig(
+                announced=frozenset(small_testbed.origin.link_ids[1:])
+            )
+        )
+        first = prober.measure(full)
+        second = prober.measure(partial)
+        routed_in_both = (set(full.routes) & set(partial.routes)) - {
+            small_testbed.origin.asn
+        }
+        assert routed_in_both
+        for asn in routed_in_both:
+            assert (asn in first) == (asn in second) == prober.is_responsive(asn)
+
+    def test_unrouted_ases_unobserved(self, small_testbed):
+        partial = small_testbed.simulator.simulate(
+            AnnouncementConfig(
+                announced=frozenset(small_testbed.origin.link_ids[:1])
+            )
+        )
+        prober = prober_for(small_testbed, responsiveness=1.0)
+        assignment = prober.measure(partial)
+        assert set(assignment) == set(partial.routes) - {small_testbed.origin.asn}
+
+    def test_higher_coverage_than_passive_pipeline(self, small_testbed):
+        """Verfploeter's selling point: coverage beats feed+probe inference."""
+        outcome = small_testbed.simulator.simulate(
+            anycast_all(small_testbed.origin.link_ids)
+        )
+        active = prober_for(small_testbed, responsiveness=0.7).measure(outcome)
+        passive = small_testbed.campaign.measure(outcome).assignment
+        assert len(active) > len(passive)
