@@ -1,0 +1,84 @@
+"""Simulation-engine benchmark: serial vs parallel, cold vs cached.
+
+Deploys a truncated announcement schedule through the
+:class:`~repro.core.engine.SimulationEngine` four ways — cold serial,
+cold parallel (2 workers), warm-start disabled, and a fully cached
+replay — checks that every variant produces bit-identical routes, and
+records wall times plus cache/warm-start rates to ``BENCH_engine.json``
+next to this file.
+
+On single-core containers the parallel run shows pool overhead rather
+than speedup; the artifact records ``cpu_count`` so readers can tell.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from conftest import BENCH_PARAMS, BENCH_SEED
+
+from repro.core.engine import SimulationEngine
+from repro.core.pipeline import SpoofTracker, build_testbed
+
+ARTIFACT = os.path.join(os.path.dirname(__file__), "BENCH_engine.json")
+NUM_CONFIGS = 60
+
+
+def _timed(engine, configs):
+    start = time.perf_counter()
+    outcomes = engine.simulate_many(configs)
+    return outcomes, time.perf_counter() - start
+
+
+def test_engine_serial_vs_parallel(capsys):
+    testbed = build_testbed(seed=BENCH_SEED, topology_params=BENCH_PARAMS)
+    configs = SpoofTracker(testbed).schedule[:NUM_CONFIGS]
+
+    serial = SimulationEngine(testbed.simulator, workers=1, spec=testbed.spec)
+    baseline, serial_time = _timed(serial, configs)
+
+    cold = SimulationEngine(testbed.simulator, warm_start=False)
+    cold_outcomes, cold_time = _timed(cold, configs)
+
+    with SimulationEngine(
+        testbed.simulator, workers=2, spec=testbed.spec
+    ) as parallel:
+        fanned, parallel_time = _timed(parallel, configs)
+        parallel_stats = parallel.stats.copy()
+
+    _, cached_time = _timed(serial, configs)
+
+    # Every variant is bit-identical (the engine's core guarantee).
+    for a, b, c in zip(baseline, fanned, cold_outcomes):
+        assert a.routes == b.routes == c.routes
+        assert a.catchments == b.catchments
+
+    stats = serial.stats
+    assert stats.cache_hits >= NUM_CONFIGS  # the replay was free
+    cache_hit_rate = stats.cache_hits / stats.configs_requested
+    record = {
+        "seed": BENCH_SEED,
+        "num_configs": NUM_CONFIGS,
+        "cpu_count": os.cpu_count(),
+        "serial_cold_seconds": round(serial_time, 4),
+        "serial_no_warm_start_seconds": round(cold_time, 4),
+        "parallel2_cold_seconds": round(parallel_time, 4),
+        "cached_replay_seconds": round(cached_time, 4),
+        "cache_hit_rate": round(cache_hit_rate, 4),
+        "warm_starts": stats.warm_starts,
+        "passes_saved": stats.passes_saved,
+        "parallel_configs_simulated": parallel_stats.configs_simulated,
+    }
+    with open(ARTIFACT, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    assert cached_time < serial_time  # replay must beat simulating
+
+    with capsys.disabled():
+        print()
+        print(f"wrote {ARTIFACT}")
+        for key, value in sorted(record.items()):
+            print(f"  {key:32s}: {value}")

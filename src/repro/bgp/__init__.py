@@ -11,6 +11,21 @@ from .policy import PolicyModel
 from .route import Route, best_route, stable_tiebreak
 from .simulator import DEFAULT_MAX_PASSES, RoutingOutcome, RoutingSimulator
 
+
+def make_engine(simulator: RoutingSimulator, **kwargs):
+    """Wrap a :class:`RoutingSimulator` in a caching/parallel engine.
+
+    Thin convenience hook so callers holding only a BGP-layer simulator
+    can opt into memoized (and optionally multi-process) simulation
+    without importing :mod:`repro.core` directly.  Keyword arguments
+    (``workers``, ``spec``, ``warm_start``, ``cache_size``) pass through
+    to :class:`repro.core.engine.SimulationEngine`.
+    """
+    from ..core.engine import SimulationEngine
+
+    return SimulationEngine(simulator, **kwargs)
+
+
 __all__ = [
     "AnnouncementConfig",
     "anycast_all",
@@ -26,4 +41,5 @@ __all__ = [
     "ConvergenceParams",
     "ConvergenceResult",
     "DEFAULT_MRAI_SECONDS",
+    "make_engine",
 ]

@@ -14,6 +14,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from dataclasses import replace
 from typing import List, Optional, Sequence
 
 from .analysis.figures import FIGURE_RUNNERS, EvaluationRun
@@ -34,19 +35,14 @@ SCALES = {
 
 
 def _build_run(args: argparse.Namespace) -> EvaluationRun:
-    params = SCALES[args.scale]
-    params = TopologyParams(
-        num_tier1=params.num_tier1,
-        num_transit=params.num_transit,
-        num_stub=params.num_stub,
-        seed=args.seed,
-    )
+    params = replace(SCALES[args.scale], seed=args.seed)
     testbed = build_testbed(seed=args.seed, topology_params=params)
     return EvaluationRun(
         testbed=testbed,
         seed=args.seed,
         max_configs=args.max_configs,
         measured=getattr(args, "measured", False),
+        workers=getattr(args, "workers", 1),
     )
 
 
@@ -60,7 +56,8 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     run = _build_run(args)
     print(
         f"# evaluation run: {len(run.schedule)} configurations over "
-        f"{len(run.universe)} ASes ({time.time() - start:.1f}s)",
+        f"{len(run.universe)} ASes ({time.time() - start:.1f}s, "
+        f"{run.engine.stats.summary()})",
         file=sys.stderr,
     )
     for figure_id in wanted:
@@ -72,6 +69,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
             print()
             print(plot_figure(result))
         print()
+    run.engine.close()
     return 0
 
 
@@ -85,18 +83,21 @@ def _cmd_tables(args: argparse.Namespace) -> int:
 
 def _cmd_track(args: argparse.Namespace) -> int:
     testbed = build_testbed(seed=args.seed, topology_params=SCALES[args.scale])
-    tracker = SpoofTracker(testbed)
+    tracker = SpoofTracker(testbed, workers=args.workers)
     rng = random.Random(args.seed + 1)
     candidate_ases = sorted(testbed.topology.stubs or testbed.graph.ases)
     placement = make_placement(
         args.distribution, candidate_ases, args.sources, rng
     )
-    report = tracker.run(
-        max_configs=args.max_configs,
-        placement=placement,
-        measured=args.measured,
-        split_threshold=args.split_threshold,
-    )
+    try:
+        report = tracker.run(
+            max_configs=args.max_configs,
+            placement=placement,
+            measured=args.measured,
+            split_threshold=args.split_threshold,
+        )
+    finally:
+        tracker.engine.close()
     print(report.summary())
     true_sources = ", ".join(str(asn) for asn in sorted(placement.spoofing_ases))
     print(f"ground-truth source ASes: {true_sources}")
@@ -108,6 +109,7 @@ def _cmd_headline(args: argparse.Namespace) -> int:
 
     run = _build_run(args)
     print(render_headline(headline_metrics(run)))
+    run.engine.close()
     return 0
 
 
@@ -132,9 +134,8 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
         f"{len(dataset.sources())} sources"
     )
     if args.paths:
-        outcomes = (
-            run.testbed.simulator.simulate(config) for config in run.schedule
-        )
+        # Cache hits: the run already simulated its schedule.
+        outcomes = run.engine.simulate_many(run.schedule)
         path_dataset = PathDataset.from_outcomes(outcomes)
         path_dataset.save(args.paths)
         diversity = path_dataset.route_diversity()
@@ -143,6 +144,7 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
             f"wrote {args.paths}: forwarding paths for {len(path_dataset)} "
             f"configurations (mean {mean_diversity:.2f} routes/source)"
         )
+    run.engine.close()
     return 0
 
 
@@ -159,6 +161,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(body)
         print(f"wrote {args.output}")
+    run.engine.close()
     return 0
 
 
@@ -172,6 +175,12 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument("--seed", type=int, default=0, help="global PRNG seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="simulation worker processes (1 = serial; results are identical)",
+    )
     parser.add_argument(
         "--scale",
         choices=sorted(SCALES),

@@ -1,0 +1,436 @@
+"""Parallel, memoizing simulation engine for announcement schedules.
+
+The paper's workflow deploys ~705 announcement configurations and
+intersects their catchments; every consumer in this repo — the
+:class:`~repro.core.pipeline.SpoofTracker` schedule, the §V-B
+:class:`~repro.core.refinement.LargeClusterSplitter`, the §V-C
+schedulers, and the benchmark harness — ultimately funnels through
+"simulate this configuration".  :class:`SimulationEngine` makes that hot
+path fast three ways:
+
+1. **Fan-out** — configurations are distributed over a
+   :mod:`multiprocessing` pool.  Each worker reconstructs the
+   :class:`~repro.bgp.simulator.RoutingSimulator` exactly once, in the
+   pool initializer, from a picklable testbed spec (or from the pickled
+   simulator itself when no spec is available); results stream back in
+   schedule order.
+2. **Memoization** — outcomes are cached in an LRU keyed by the
+   *canonical* form of the configuration
+   (:meth:`~repro.bgp.announcement.AnnouncementConfig.key`, which
+   ignores label/phase metadata), so no configuration is ever simulated
+   twice — not by a repeated schedule, not by the splitter re-deploying
+   the anycast baseline, not by a scheduler replaying history.
+3. **Warm starts** — a configuration that differs from an
+   already-computed one only by prepending/poisoning/communities (same
+   announcement set) or by dropped links (subset of all links) seeds its
+   fixpoint from that *parent* outcome's routes instead of the empty
+   state, cutting Gauss-Seidel passes on the long prepend/poison phases.
+
+Determinism: the warm-start parent of a configuration is a pure function
+of the configuration itself (never of scheduling order or cache
+contents — a missing parent is simulated on demand), so every outcome is
+a deterministic function of ``(simulator, config)``.  A parallel run is
+therefore bit-identical to a serial one: same routes, same catchments,
+same clusters.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..bgp.announcement import AnnouncementConfig
+from ..bgp.simulator import RoutingOutcome, RoutingSimulator
+from ..errors import SimulationError
+
+#: Default bound on memoized outcomes.  An outcome holds one route per
+#: covered AS, so the default comfortably fits the paper's 705-config
+#: schedule on paper-scale topologies while bounding worst-case memory.
+DEFAULT_CACHE_SIZE = 4096
+
+ConfigKey = Tuple
+_Lookup = Callable[[ConfigKey], Optional[RoutingOutcome]]
+_Store = Callable[[ConfigKey, RoutingOutcome], None]
+
+
+@dataclass
+class EngineStats:
+    """Counters accumulated by a :class:`SimulationEngine`.
+
+    Attributes:
+        configs_requested: configurations asked for (hits + misses).
+        configs_simulated: Gauss-Seidel fixpoints actually run, including
+            warm-start parents simulated on demand.
+        cache_hits: requests served from the outcome cache (including
+            duplicates within one batch).
+        warm_starts: simulations seeded from a parent outcome.
+        passes_saved: estimated Gauss-Seidel passes avoided by warm
+            starts — Σ max(0, parent passes − warm-started passes); the
+            parent's cold pass count is the stand-in for what the child
+            would have cost cold.
+        wall_time: seconds spent inside :meth:`SimulationEngine.simulate`
+            / :meth:`SimulationEngine.simulate_many`.
+    """
+
+    configs_requested: int = 0
+    configs_simulated: int = 0
+    cache_hits: int = 0
+    warm_starts: int = 0
+    passes_saved: int = 0
+    wall_time: float = 0.0
+
+    def copy(self) -> "EngineStats":
+        """Independent snapshot of the current counters."""
+        return EngineStats(
+            configs_requested=self.configs_requested,
+            configs_simulated=self.configs_simulated,
+            cache_hits=self.cache_hits,
+            warm_starts=self.warm_starts,
+            passes_saved=self.passes_saved,
+            wall_time=self.wall_time,
+        )
+
+    def since(self, before: "EngineStats") -> "EngineStats":
+        """Counters accumulated after the ``before`` snapshot was taken."""
+        return EngineStats(
+            configs_requested=self.configs_requested - before.configs_requested,
+            configs_simulated=self.configs_simulated - before.configs_simulated,
+            cache_hits=self.cache_hits - before.cache_hits,
+            warm_starts=self.warm_starts - before.warm_starts,
+            passes_saved=self.passes_saved - before.passes_saved,
+            wall_time=self.wall_time - before.wall_time,
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable rendering."""
+        return (
+            f"{self.configs_simulated} simulated / "
+            f"{self.configs_requested} requested, "
+            f"{self.cache_hits} cache hits, "
+            f"{self.warm_starts} warm starts "
+            f"(~{self.passes_saved} passes saved), "
+            f"{self.wall_time:.2f}s"
+        )
+
+
+# ----------------------------------------------------------------------
+# Warm-start parent derivation
+# ----------------------------------------------------------------------
+
+
+def warm_start_parent(
+    config: AnnouncementConfig, all_links: Sequence[str]
+) -> Optional[AnnouncementConfig]:
+    """The configuration whose fixpoint seeds ``config``'s, or None.
+
+    * A configuration using prepending, poisoning, or no-export
+      communities is seeded from the plain locations configuration with
+      the same announcement set (same routes everywhere the manipulation
+      does not bite).
+    * A locations configuration announcing a proper subset of the links
+      is seeded from the anycast-all configuration (only sources behind
+      the withdrawn links move).
+    * The anycast-all configuration itself has no parent (cold start).
+
+    The parent depends only on the configuration and the origin's link
+    set — never on what happens to be cached — so warm-started results
+    are reproducible regardless of scheduling or worker count.
+    """
+    if config.prepended or config.poisoned or config.no_export:
+        return AnnouncementConfig(
+            announced=config.announced, label="warm-parent"
+        )
+    full = frozenset(all_links)
+    if config.announced != full:
+        return AnnouncementConfig(announced=full, label="warm-root")
+    return None
+
+
+def _simulate_resolved(
+    simulator: RoutingSimulator,
+    config: AnnouncementConfig,
+    warm_start: bool,
+    lookup: _Lookup,
+    store: _Store,
+) -> Tuple[RoutingOutcome, int, int, int]:
+    """Simulate ``config``, resolving warm-start parents through a cache.
+
+    Returns ``(outcome, fixpoints_run, warm_starts, passes_saved)``.
+    Missing parents are simulated (and cached via ``store``) on demand,
+    so the result never depends on cache contents.
+    """
+    if not warm_start:
+        return simulator.simulate(config), 1, 0, 0
+    parent = warm_start_parent(config, simulator.origin.link_ids)
+    if parent is None:
+        return simulator.simulate(config), 1, 0, 0
+    fixpoints = 0
+    parent_key = parent.key()
+    parent_outcome = lookup(parent_key)
+    if parent_outcome is None:
+        parent_outcome, parent_fixpoints, _, _ = _simulate_resolved(
+            simulator, parent, warm_start, lookup, store
+        )
+        store(parent_key, parent_outcome)
+        fixpoints += parent_fixpoints
+    outcome = simulator.simulate(config, warm_start=parent_outcome.routes)
+    saved = max(0, parent_outcome.passes - outcome.passes)
+    return outcome, fixpoints + 1, 1, saved
+
+
+# ----------------------------------------------------------------------
+# Worker-process machinery
+# ----------------------------------------------------------------------
+
+#: Per-worker state installed by the pool initializer: the reconstructed
+#: simulator, the warm-start flag, and a worker-local parent cache.
+_WORKER_STATE: Optional[Tuple[RoutingSimulator, bool, Dict]] = None
+
+
+def _init_worker(payload, warm_start: bool) -> None:
+    """Pool initializer: build the worker's simulator exactly once.
+
+    ``payload`` is either a testbed spec exposing ``build_simulator()``
+    (the cheap-to-pickle path) or a pickled :class:`RoutingSimulator`
+    (fallback for ad-hoc testbeds without a spec).
+    """
+    global _WORKER_STATE
+    if hasattr(payload, "build_simulator"):
+        simulator = payload.build_simulator()
+    else:
+        simulator = payload
+    _WORKER_STATE = (simulator, warm_start, {})
+
+
+def _worker_simulate(
+    item: Tuple[int, AnnouncementConfig]
+) -> Tuple[int, RoutingOutcome, int, int, int]:
+    """Pool task: simulate one configuration in a worker process.
+
+    Warm-start parents are resolved against a worker-local cache (they
+    recur across a schedule's prepend/poison phases, so each worker pays
+    for each parent at most once).
+    """
+    assert _WORKER_STATE is not None, "worker initializer did not run"
+    simulator, warm_start, parent_cache = _WORKER_STATE
+    index, config = item
+    outcome, fixpoints, warms, saved = _simulate_resolved(
+        simulator,
+        config,
+        warm_start,
+        parent_cache.get,
+        parent_cache.__setitem__,
+    )
+    return index, outcome, fixpoints, warms, saved
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+
+
+class SimulationEngine:
+    """Cached, optionally parallel front end to a :class:`RoutingSimulator`.
+
+    Args:
+        simulator: the simulator to run configurations through.
+        workers: worker processes for :meth:`simulate_many`.  1 (the
+            default) keeps everything in-process — exactly the previous
+            serial behaviour, plus caching and warm starts.
+        spec: picklable testbed spec (e.g.
+            :class:`~repro.core.pipeline.TestbedSpec`) from which workers
+            rebuild the simulator.  When None, the simulator itself is
+            shipped to the pool initializer — fine under the default
+            ``fork`` start method, required to be picklable elsewhere.
+        warm_start: seed fixpoints from parent outcomes (see
+            :func:`warm_start_parent`).
+        cache_size: bound on memoized outcomes (LRU eviction).
+
+    The engine is safe to share across every consumer of one testbed —
+    sharing is the point: the splitter's baseline is the schedule's
+    anycast-all configuration, already cached.  It is also a context
+    manager; :meth:`close` tears down the worker pool (a pool is only
+    created once :meth:`simulate_many` actually runs with ``workers >
+    1``).
+    """
+
+    def __init__(
+        self,
+        simulator: RoutingSimulator,
+        workers: int = 1,
+        spec=None,
+        warm_start: bool = True,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        if workers < 1:
+            raise SimulationError("workers must be at least 1")
+        if cache_size < 1:
+            raise SimulationError("cache_size must be at least 1")
+        self.simulator = simulator
+        self.workers = workers
+        self.spec = spec
+        self.warm_start = warm_start
+        self.cache_size = cache_size
+        self.stats = EngineStats()
+        self._cache: "OrderedDict[ConfigKey, RoutingOutcome]" = OrderedDict()
+        self._pool = None
+
+    # -- cache ----------------------------------------------------------
+
+    def _cache_get(self, key: ConfigKey) -> Optional[RoutingOutcome]:
+        outcome = self._cache.get(key)
+        if outcome is not None:
+            self._cache.move_to_end(key)
+        return outcome
+
+    def _cache_put(self, key: ConfigKey, outcome: RoutingOutcome) -> None:
+        self._cache[key] = outcome
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    def cached_outcome(
+        self, config: AnnouncementConfig
+    ) -> Optional[RoutingOutcome]:
+        """The cached outcome for ``config``, or None (never simulates)."""
+        return self._cache_get(config.key())
+
+    def clear_cache(self) -> None:
+        """Drop every memoized outcome."""
+        self._cache.clear()
+
+    # -- simulation -----------------------------------------------------
+
+    def simulate(self, config: AnnouncementConfig) -> RoutingOutcome:
+        """Simulate one configuration (served from cache when possible)."""
+        return self.simulate_many([config])[0]
+
+    def simulate_many(
+        self, configs: Sequence[AnnouncementConfig]
+    ) -> List[RoutingOutcome]:
+        """Simulate a batch; results return in the batch's order.
+
+        Cache hits (including duplicate configurations within the batch)
+        are never re-simulated.  Misses run serially in-process
+        (``workers == 1``) or fan out over the worker pool.
+        """
+        start = time.perf_counter()
+        self.stats.configs_requested += len(configs)
+
+        # Partition into hits and first-occurrence misses.
+        by_key: Dict[ConfigKey, RoutingOutcome] = {}
+        misses: List[Tuple[ConfigKey, AnnouncementConfig]] = []
+        pending = set()
+        keys: List[ConfigKey] = []
+        for config in configs:
+            key = config.key()
+            keys.append(key)
+            if key in by_key or key in pending:
+                self.stats.cache_hits += 1
+                continue
+            cached = self._cache_get(key)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                by_key[key] = cached
+                continue
+            pending.add(key)
+            misses.append((key, config))
+
+        if misses:
+            if self.workers == 1 or len(misses) == 1:
+                self._run_serial(misses, by_key)
+            else:
+                self._run_parallel(misses, by_key)
+
+        self.stats.wall_time += time.perf_counter() - start
+        return [by_key[key] for key in keys]
+
+    def _run_serial(
+        self,
+        misses: List[Tuple[ConfigKey, AnnouncementConfig]],
+        by_key: Dict[ConfigKey, RoutingOutcome],
+    ) -> None:
+        for key, config in misses:
+            already = self._cache_get(key)
+            if already is not None:
+                # Simulated en passant as a warm-start parent of an
+                # earlier miss in this batch.
+                by_key[key] = already
+                continue
+            outcome, fixpoints, warms, saved = _simulate_resolved(
+                self.simulator,
+                config,
+                self.warm_start,
+                self._cache_get,
+                self._record_parent,
+            )
+            self.stats.configs_simulated += fixpoints
+            self.stats.warm_starts += warms
+            self.stats.passes_saved += saved
+            self._cache_put(key, outcome)
+            by_key[key] = outcome
+
+    def _record_parent(self, key: ConfigKey, outcome: RoutingOutcome) -> None:
+        # Parents simulated on demand are full-fledged results: cache
+        # them so the schedule (which usually contains them) hits.
+        self._cache_put(key, outcome)
+
+    def _run_parallel(
+        self,
+        misses: List[Tuple[ConfigKey, AnnouncementConfig]],
+        by_key: Dict[ConfigKey, RoutingOutcome],
+    ) -> None:
+        pool = self._ensure_pool()
+        chunksize = max(1, len(misses) // (self.workers * 4))
+        tasks = [(i, config) for i, (_, config) in enumerate(misses)]
+        for index, outcome, fixpoints, warms, saved in pool.imap_unordered(
+            _worker_simulate, tasks, chunksize=chunksize
+        ):
+            self.stats.configs_simulated += fixpoints
+            self.stats.warm_starts += warms
+            self.stats.passes_saved += saved
+            key = misses[index][0]
+            self._cache_put(key, outcome)
+            by_key[key] = outcome
+
+    # -- pool lifecycle -------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            import multiprocessing
+
+            payload = self.spec if self.spec is not None else self.simulator
+            self._pool = multiprocessing.Pool(
+                processes=self.workers,
+                initializer=_init_worker,
+                initargs=(payload, self.warm_start),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Tear down the worker pool (the cache survives)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "SimulationEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter shutdown
+        try:
+            self.close()
+        except Exception:
+            pass

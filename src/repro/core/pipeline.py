@@ -13,8 +13,8 @@ simulator, address plan, IXPs, feeds, probe fleet) from a single seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from .refinement import SplitReport
@@ -38,6 +38,7 @@ from ..topology.peering import OriginNetwork, attach_origin
 from ..types import ASN, Catchment, LinkId
 from .clustering import ClusterState
 from .configgen import ScheduleParams, generate_schedule
+from .engine import EngineStats, SimulationEngine
 from .localization import LocalizationResult, SpoofLocalizer
 
 
@@ -55,11 +56,84 @@ class Testbed:
     collectors: BGPCollectorSet
     fleet: AtlasProbeFleet
     campaign: MeasurementCampaign
+    #: Construction recipe (when built by :func:`build_testbed`); lets
+    #: :class:`~repro.core.engine.SimulationEngine` workers rebuild the
+    #: simulator cheaply instead of pickling the whole object graph.
+    spec: Optional["TestbedSpec"] = None
 
     @property
     def graph(self) -> ASGraph:
         """The AS topology graph (origin attached)."""
         return self.topology.graph
+
+
+@dataclass(frozen=True)
+class TestbedSpec:
+    """Picklable recipe for :func:`build_testbed`.
+
+    Everything here is a value type (ints, floats, frozen dataclasses),
+    so shipping a spec to a worker process costs bytes, and rebuilding is
+    deterministic: ``spec.build()`` in any process yields a testbed whose
+    simulator is bit-identical to the original.
+    """
+
+    seed: int = 0
+    topology_params: Optional[TopologyParams] = None
+    num_links: int = 7
+    policy_noise: float = 0.05
+    loop_prevention_disabled_fraction: float = 0.02
+    num_vantages: int = 25
+    num_probes: int = 120
+    traceroute_params: Optional[TracerouteParams] = None
+    rounds_per_config: int = 3
+    with_geography: bool = False
+
+    def build(self) -> "Testbed":
+        """Rebuild the full testbed this spec describes."""
+        return build_testbed(
+            seed=self.seed,
+            topology_params=self.topology_params,
+            num_links=self.num_links,
+            policy_noise=self.policy_noise,
+            loop_prevention_disabled_fraction=self.loop_prevention_disabled_fraction,
+            num_vantages=self.num_vantages,
+            num_probes=self.num_probes,
+            traceroute_params=self.traceroute_params,
+            rounds_per_config=self.rounds_per_config,
+            with_geography=self.with_geography,
+        )
+
+    def build_simulator(self) -> RoutingSimulator:
+        """Rebuild only the routing substrate (what pool workers need)."""
+        _, _, _, simulator = _build_routing_substrate(self)
+        return simulator
+
+
+def _build_routing_substrate(
+    spec: TestbedSpec,
+) -> Tuple[GeneratedTopology, OriginNetwork, PolicyModel, RoutingSimulator]:
+    """Topology + origin + policy + simulator from a spec (shared by
+    :func:`build_testbed` and :meth:`TestbedSpec.build_simulator`)."""
+    params = spec.topology_params or TopologyParams(seed=spec.seed)
+    if params.seed != spec.seed:
+        params = replace(params, seed=spec.seed)
+    topology = generate_topology(params)
+    origin = attach_origin(topology, num_links=spec.num_links, seed=spec.seed)
+    graph = topology.graph
+    geography = None
+    if spec.with_geography:
+        from ..topology.geography import GeographyModel
+
+        geography = GeographyModel.random(graph.ases, seed=spec.seed)
+    policy = PolicyModel(
+        graph,
+        seed=spec.seed,
+        policy_noise=spec.policy_noise,
+        loop_prevention_disabled_fraction=spec.loop_prevention_disabled_fraction,
+        geography=geography,
+    )
+    simulator = RoutingSimulator(graph, origin, policy)
+    return topology, origin, policy, simulator
 
 
 def build_testbed(
@@ -84,34 +158,20 @@ def build_testbed(
     between equally-preferred routes resolve hot-potato (toward the
     geographically closest neighbor) instead of by arbitrary router state.
     """
-    params = topology_params or TopologyParams(seed=seed)
-    if params.seed != seed:
-        params = TopologyParams(
-            num_tier1=params.num_tier1,
-            num_transit=params.num_transit,
-            num_stub=params.num_stub,
-            transit_provider_choices=params.transit_provider_choices,
-            stub_provider_choices=params.stub_provider_choices,
-            transit_peering_probability=params.transit_peering_probability,
-            stub_multihome_fraction=params.stub_multihome_fraction,
-            seed=seed,
-        )
-    topology = generate_topology(params)
-    origin = attach_origin(topology, num_links=num_links, seed=seed)
-    graph = topology.graph
-    geography = None
-    if with_geography:
-        from ..topology.geography import GeographyModel
-
-        geography = GeographyModel.random(graph.ases, seed=seed)
-    policy = PolicyModel(
-        graph,
+    spec = TestbedSpec(
         seed=seed,
+        topology_params=topology_params,
+        num_links=num_links,
         policy_noise=policy_noise,
         loop_prevention_disabled_fraction=loop_prevention_disabled_fraction,
-        geography=geography,
+        num_vantages=num_vantages,
+        num_probes=num_probes,
+        traceroute_params=traceroute_params,
+        rounds_per_config=rounds_per_config,
+        with_geography=with_geography,
     )
-    simulator = RoutingSimulator(graph, origin, policy)
+    topology, origin, policy, simulator = _build_routing_substrate(spec)
+    graph = topology.graph
     plan = AddressPlan(graph.ases, origin.asn)
     ixps = synthesize_ixps(graph, seed=seed)
     mapper = IPToASMapper(plan, ixps.prefixes())
@@ -137,6 +197,7 @@ def build_testbed(
         collectors=collectors,
         fleet=fleet,
         campaign=campaign,
+        spec=spec,
     )
 
 
@@ -165,6 +226,8 @@ class TrackerReport:
         localization: volume attribution (when a placement was given).
         placement: the ground-truth placement (when given).
         measured: whether catchments came from feeds/traceroutes.
+        engine_stats: simulation-engine counters for this run (configs
+            simulated, cache hits, warm-start savings, wall time).
     """
 
     universe: FrozenSet[ASN]
@@ -175,6 +238,7 @@ class TrackerReport:
     placement: Optional[SourcePlacement] = None
     measured: bool = False
     split_report: Optional["SplitReport"] = None
+    engine_stats: Optional[EngineStats] = None
 
     @property
     def mean_cluster_size(self) -> float:
@@ -197,6 +261,8 @@ class TrackerReport:
             f"mean cluster size       : {self.mean_cluster_size:.2f} ASes",
             f"singleton clusters      : {self.singleton_cluster_fraction:.0%}",
         ]
+        if self.engine_stats is not None:
+            lines.append(f"simulation engine       : {self.engine_stats.summary()}")
         if self.localization is not None:
             top = self.localization.top(3)
             lines.append("most-suspect clusters   :")
@@ -224,15 +290,28 @@ class SpoofTracker:
     Args:
         testbed: a wired testbed from :func:`build_testbed`.
         schedule_params: announcement-generation knobs (§IV-a defaults).
+        engine: simulation engine to deploy configurations through.  By
+            default a serial caching engine is built over the testbed's
+            simulator; pass an engine with ``workers > 1`` (or use the
+            ``workers`` shorthand) to fan simulations out over processes.
+        workers: shorthand for building the default engine with this many
+            worker processes (ignored when ``engine`` is given).
     """
 
     def __init__(
-        self, testbed: Testbed, schedule_params: Optional[ScheduleParams] = None
+        self,
+        testbed: Testbed,
+        schedule_params: Optional[ScheduleParams] = None,
+        engine: Optional[SimulationEngine] = None,
+        workers: int = 1,
     ) -> None:
         self.testbed = testbed
         self.schedule_params = schedule_params or ScheduleParams()
         self.schedule: List[AnnouncementConfig] = generate_schedule(
             testbed.origin, testbed.graph, self.schedule_params
+        )
+        self.engine = engine or SimulationEngine(
+            testbed.simulator, workers=workers, spec=testbed.spec
         )
 
     @classmethod
@@ -273,11 +352,9 @@ class SpoofTracker:
         if not configs:
             raise ReproError("empty schedule")
 
-        simulator = self.testbed.simulator
         origin = self.testbed.origin
-        outcomes: List[RoutingOutcome] = [
-            simulator.simulate(config) for config in configs
-        ]
+        stats_before = self.engine.stats.copy()
+        outcomes: List[RoutingOutcome] = self.engine.simulate_many(configs)
 
         if measured:
             first = self.testbed.campaign.measure(outcomes[0])
@@ -315,11 +392,20 @@ class SpoofTracker:
             from .refinement import LargeClusterSplitter
 
             splitter = LargeClusterSplitter(
-                simulator, origin, threshold=split_threshold
+                self.testbed.simulator,
+                origin,
+                threshold=split_threshold,
+                engine=self.engine,
             )
             split_report = splitter.split(state, max_configs=split_budget)
-            for config, extra in zip(
-                split_report.configs_deployed, split_report.catchment_history
+            # The splitter refines ``state`` in place; per-config cluster
+            # statistics come from its snapshots, taken right after each
+            # deployed configuration (recomputing them here would just
+            # repeat the final state for every step).
+            for config, extra, snapshot in zip(
+                split_report.configs_deployed,
+                split_report.catchment_history,
+                split_report.snapshots,
             ):
                 catchment_history.append(
                     {
@@ -331,9 +417,9 @@ class SpoofTracker:
                     StepStats(
                         config_label=config.label or config.describe(),
                         phase="split",
-                        num_clusters=state.num_clusters(),
-                        mean_cluster_size=state.mean_size(),
-                        p90_cluster_size=state.size_percentile(90.0),
+                        num_clusters=snapshot.num_clusters,
+                        mean_cluster_size=snapshot.mean_cluster_size,
+                        p90_cluster_size=snapshot.p90_cluster_size,
                     )
                 )
         clusters = state.clusters()
@@ -361,4 +447,5 @@ class SpoofTracker:
             placement=placement,
             measured=measured,
             split_report=split_report,
+            engine_stats=self.engine.stats.since(stats_before),
         )

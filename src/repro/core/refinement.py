@@ -19,7 +19,7 @@ specific to split these large distant clusters".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Set
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Set
 
 from ..bgp.announcement import AnnouncementConfig
 from ..bgp.simulator import RoutingOutcome, RoutingSimulator
@@ -28,6 +28,23 @@ from ..topology.peering import OriginNetwork
 from ..types import ASN, Catchment, LinkId
 from .clustering import ClusterState
 from .configgen import distant_poison_configs
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .engine import SimulationEngine
+
+
+@dataclass(frozen=True)
+class SplitSnapshot:
+    """Cluster statistics right after one split configuration deployed.
+
+    Captured inside the splitting loop, so consumers (the pipeline's
+    per-step ``StepStats``) see the actual per-configuration progression
+    rather than the final refined state repeated.
+    """
+
+    num_clusters: int
+    mean_cluster_size: float
+    p90_cluster_size: float
 
 
 @dataclass
@@ -41,6 +58,8 @@ class SplitReport:
         final_sizes: sizes of the descendants of those clusters after.
         catchment_history: catchments of the extra configurations (for
             feeding localization).
+        snapshots: cluster statistics after each deployed configuration
+            (parallel to ``configs_deployed``).
     """
 
     configs_deployed: List[AnnouncementConfig] = field(default_factory=list)
@@ -48,6 +67,7 @@ class SplitReport:
     initial_sizes: List[int] = field(default_factory=list)
     final_sizes: List[int] = field(default_factory=list)
     catchment_history: List[Dict[LinkId, Catchment]] = field(default_factory=list)
+    snapshots: List[SplitSnapshot] = field(default_factory=list)
 
     @property
     def initial_max(self) -> int:
@@ -74,6 +94,11 @@ class LargeClusterSplitter:
             an observable catchment — this separates single-homed cones
             (e.g. a provider's exclusive customers) that plain catchment
             membership can never split.
+        engine: optional :class:`~repro.core.engine.SimulationEngine` to
+            simulate through.  Sharing the pipeline's engine means the
+            splitter's baseline (the anycast-all configuration the
+            schedule already deployed) is a cache hit, and split
+            configurations seen in earlier rounds are never re-simulated.
     """
 
     def __init__(
@@ -83,6 +108,7 @@ class LargeClusterSplitter:
         threshold: int = 5,
         max_targets_per_cluster: int = 3,
         use_absence_signal: bool = True,
+        engine: Optional["SimulationEngine"] = None,
     ) -> None:
         if threshold < 1:
             raise ValueError("threshold must be at least 1")
@@ -93,6 +119,12 @@ class LargeClusterSplitter:
         self.threshold = threshold
         self.max_targets_per_cluster = max_targets_per_cluster
         self.use_absence_signal = use_absence_signal
+        self.engine = engine
+
+    def _simulate(self, config: AnnouncementConfig) -> RoutingOutcome:
+        if self.engine is not None:
+            return self.engine.simulate(config)
+        return self.simulator.simulate(config)
 
     # ------------------------------------------------------------------
 
@@ -138,7 +170,7 @@ class LargeClusterSplitter:
     ) -> SplitReport:
         """Run the splitting loop, refining ``state`` in place."""
         report = SplitReport()
-        baseline = self.simulator.simulate(
+        baseline = self._simulate(
             AnnouncementConfig(
                 announced=frozenset(self.origin.link_ids),
                 label="splitter-baseline",
@@ -164,8 +196,12 @@ class LargeClusterSplitter:
                 self.origin, self.simulator.graph, targets
             )
             budget = max_configs - len(report.configs_deployed)
-            for config in configs[:budget]:
-                outcome = self.simulator.simulate(config)
+            round_configs = configs[:budget]
+            if self.engine is not None:
+                outcomes = self.engine.simulate_many(round_configs)
+            else:
+                outcomes = [self.simulator.simulate(c) for c in round_configs]
+            for config, outcome in zip(round_configs, outcomes):
                 catchments = {
                     link: frozenset(members)
                     for link, members in outcome.catchments.items()
@@ -176,6 +212,13 @@ class LargeClusterSplitter:
                     state.refine(unrouted)
                 report.configs_deployed.append(config)
                 report.catchment_history.append(catchments)
+                report.snapshots.append(
+                    SplitSnapshot(
+                        num_clusters=state.num_clusters(),
+                        mean_cluster_size=state.mean_size(),
+                        p90_cluster_size=state.size_percentile(90.0),
+                    )
+                )
 
         for cluster in state.clusters():
             if cluster & targeted_members:

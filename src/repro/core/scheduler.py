@@ -22,11 +22,54 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import SchedulingError
 from ..types import ASN, Catchment, LinkId
 from .clustering import ClusterState
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from ..bgp.announcement import AnnouncementConfig
+    from .engine import SimulationEngine
+
+
+def measured_catchment_history(
+    engine: "SimulationEngine",
+    configs: Iterable["AnnouncementConfig"],
+    universe: Optional[Iterable[ASN]] = None,
+) -> Tuple[List[ASN], List[Mapping[LinkId, Catchment]]]:
+    """Pre-measure per-configuration catchments through an engine.
+
+    The §V-C schedulers operate on pre-measured catchment maps; this is
+    the measuring step, routed through the (cached, possibly parallel)
+    :class:`~repro.core.engine.SimulationEngine` so configurations the
+    pipeline already deployed are never simulated again.
+
+    Args:
+        engine: simulation engine over the testbed.
+        configs: configurations to measure.
+        universe: sources to restrict catchments to; defaults to the
+            coverage of the first configuration (the paper's §IV-d rule).
+
+    Returns:
+        ``(universe, catchment_history)`` ready for
+        :class:`GreedyScheduler` and friends.
+    """
+    config_list = list(configs)
+    if not config_list:
+        raise SchedulingError("no configurations to measure")
+    outcomes = engine.simulate_many(config_list)
+    members = (
+        frozenset(universe) if universe is not None else outcomes[0].covered_ases
+    )
+    history: List[Mapping[LinkId, Catchment]] = [
+        {
+            link: frozenset(catchment & members)
+            for link, catchment in outcome.catchments.items()
+        }
+        for outcome in outcomes
+    ]
+    return sorted(members), history
 
 
 def mean_cluster_size_curve(
@@ -110,6 +153,24 @@ class GreedyScheduler:
             ]
             for catchments in self.catchment_history
         ]
+
+    @classmethod
+    def from_engine(
+        cls,
+        engine: "SimulationEngine",
+        configs: Iterable["AnnouncementConfig"],
+        universe: Optional[Iterable[ASN]] = None,
+        **kwargs,
+    ) -> "GreedyScheduler":
+        """Build a scheduler by measuring ``configs`` through ``engine``.
+
+        Configurations already simulated by the pipeline (or by an
+        earlier scheduler) are cache hits — zero extra fixpoints.  Extra
+        keyword arguments pass through to the constructor (e.g.
+        ``volume_by_as`` for :class:`VolumeAwareGreedyScheduler`).
+        """
+        members, history = measured_catchment_history(engine, configs, universe)
+        return cls(members, history, **kwargs)
 
     def _gain(self, state: ClusterState, config_index: int) -> int:
         """Splits the configuration would add to the current partition."""

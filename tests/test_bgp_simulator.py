@@ -93,8 +93,25 @@ class TestAnycastBaseline:
             asn for asn in (A, P1, T1, M, C) if outcome.route(asn) is None
         ]
         for asn in unrouted:
-            with pytest.raises(SimulationError):
+            with pytest.raises(SimulationError, match="holds no route"):
                 outcome.forwarding_path(asn)
+
+    def test_forwarding_path_unknown_as_distinguished_from_unrouted(self):
+        # Regression: an ASN absent from the topology used to raise the
+        # same "no route" error as a real-but-unrouted AS.  The two are
+        # different failures and must read differently.
+        outcome = simulate(BOTH)
+        with pytest.raises(SimulationError, match="not part of the simulated topology"):
+            outcome.forwarding_path(999999)
+        withdrawn = simulate(
+            AnnouncementConfig(
+                announced=frozenset(["l1"]), poisoned={"l1": frozenset([T1])}
+            ),
+            tier1_leak_filtering=False,
+        )
+        assert withdrawn.route(C) is None
+        with pytest.raises(SimulationError, match="holds no route"):
+            withdrawn.forwarding_path(C)
 
 
 class TestWithdrawal:

@@ -1,0 +1,207 @@
+"""Tests for the caching / parallel simulation engine."""
+
+import pytest
+
+from repro.bgp.announcement import AnnouncementConfig, anycast_all
+from repro.core.engine import EngineStats, SimulationEngine, warm_start_parent
+from repro.core.pipeline import SpoofTracker
+from repro.errors import SimulationError
+from tests.conftest import T1
+
+
+LINKS = ["l1", "l2"]
+
+
+class TestWarmStartParent:
+    def test_anycast_all_has_no_parent(self):
+        assert warm_start_parent(anycast_all(LINKS), LINKS) is None
+
+    def test_subset_locations_seeds_from_anycast_all(self):
+        config = AnnouncementConfig(announced=frozenset(["l1"]))
+        parent = warm_start_parent(config, LINKS)
+        assert parent is not None
+        assert parent.announced == frozenset(LINKS)
+        assert not parent.prepended and not parent.poisoned
+
+    def test_manipulations_seed_from_same_locations(self):
+        for config in (
+            AnnouncementConfig(
+                announced=frozenset(["l1"]), prepended=frozenset(["l1"])
+            ),
+            AnnouncementConfig(
+                announced=frozenset(["l1"]), poisoned={"l1": frozenset([T1])}
+            ),
+            AnnouncementConfig(
+                announced=frozenset(["l1"]), no_export={"l1": frozenset([T1])}
+            ),
+        ):
+            parent = warm_start_parent(config, LINKS)
+            assert parent.announced == config.announced
+            assert not parent.prepended
+            assert not parent.poisoned and not parent.no_export
+
+    def test_parent_ignores_label_metadata(self):
+        a = AnnouncementConfig(announced=frozenset(["l1"]), label="x")
+        b = AnnouncementConfig(announced=frozenset(["l1"]), label="y")
+        assert warm_start_parent(a, LINKS).key() == warm_start_parent(b, LINKS).key()
+
+
+class TestCaching:
+    def test_repeat_runs_zero_new_fixpoints(self, mini_simulator):
+        engine = SimulationEngine(mini_simulator)
+        configs = [
+            anycast_all(LINKS),
+            AnnouncementConfig(announced=frozenset(["l1"])),
+            AnnouncementConfig(
+                announced=frozenset(["l1", "l2"]), prepended=frozenset(["l1"])
+            ),
+        ]
+        first = engine.simulate_many(configs)
+        simulated = engine.stats.configs_simulated
+        assert simulated >= len(configs)
+        second = engine.simulate_many(configs)
+        assert engine.stats.configs_simulated == simulated  # all cache hits
+        assert engine.stats.cache_hits >= len(configs)
+        for a, b in zip(first, second):
+            assert a is b
+
+    def test_cache_key_ignores_label_and_phase(self, mini_simulator):
+        engine = SimulationEngine(mini_simulator)
+        a = engine.simulate(anycast_all(LINKS, label="first"))
+        before = engine.stats.configs_simulated
+        b = engine.simulate(
+            AnnouncementConfig(
+                announced=frozenset(LINKS), label="second", phase="locations"
+            )
+        )
+        assert engine.stats.configs_simulated == before
+        assert a is b
+
+    def test_duplicates_within_batch_counted_as_hits(self, mini_simulator):
+        engine = SimulationEngine(mini_simulator)
+        config = anycast_all(LINKS)
+        outcomes = engine.simulate_many([config, config, config])
+        assert outcomes[0] is outcomes[1] is outcomes[2]
+        assert engine.stats.cache_hits == 2
+        assert engine.stats.configs_requested == 3
+
+    def test_cached_outcome_never_simulates(self, mini_simulator):
+        engine = SimulationEngine(mini_simulator)
+        config = anycast_all(LINKS)
+        assert engine.cached_outcome(config) is None
+        outcome = engine.simulate(config)
+        assert engine.cached_outcome(config) is outcome
+        engine.clear_cache()
+        assert engine.cached_outcome(config) is None
+
+    def test_lru_eviction_bounds_cache(self, mini_simulator):
+        engine = SimulationEngine(mini_simulator, warm_start=False, cache_size=1)
+        first = anycast_all(LINKS)
+        second = AnnouncementConfig(announced=frozenset(["l1"]))
+        engine.simulate(first)
+        engine.simulate(second)  # evicts first
+        assert engine.cached_outcome(first) is None
+        assert engine.cached_outcome(second) is not None
+
+    def test_on_demand_parent_is_cached(self, mini_simulator):
+        engine = SimulationEngine(mini_simulator)
+        child = AnnouncementConfig(
+            announced=frozenset(["l1"]), prepended=frozenset(["l1"])
+        )
+        engine.simulate(child)
+        # Both the locations parent and the anycast-all grandparent were
+        # simulated en route and must now be hits.
+        before = engine.stats.configs_simulated
+        engine.simulate(AnnouncementConfig(announced=frozenset(["l1"])))
+        engine.simulate(anycast_all(LINKS))
+        assert engine.stats.configs_simulated == before
+
+    def test_validation(self, mini_simulator):
+        with pytest.raises(SimulationError):
+            SimulationEngine(mini_simulator, workers=0)
+        with pytest.raises(SimulationError):
+            SimulationEngine(mini_simulator, cache_size=0)
+
+
+class TestWarmStartCorrectness:
+    def test_warm_equals_cold_on_mini(self, mini_simulator):
+        configs = [
+            anycast_all(LINKS),
+            AnnouncementConfig(announced=frozenset(["l1"])),
+            AnnouncementConfig(announced=frozenset(["l2"])),
+            AnnouncementConfig(
+                announced=frozenset(LINKS), prepended=frozenset(["l1"])
+            ),
+            AnnouncementConfig(
+                announced=frozenset(LINKS), poisoned={"l1": frozenset([T1])}
+            ),
+        ]
+        warm = SimulationEngine(mini_simulator, warm_start=True)
+        cold = SimulationEngine(mini_simulator, warm_start=False)
+        for a, b in zip(warm.simulate_many(configs), cold.simulate_many(configs)):
+            assert a.routes == b.routes
+            assert a.catchments == b.catchments
+        assert warm.stats.warm_starts > 0
+        assert cold.stats.warm_starts == 0
+
+    def test_warm_equals_cold_on_generated_schedule(self, small_testbed):
+        tracker = SpoofTracker(small_testbed)
+        configs = tracker.schedule[:25]
+        warm = SimulationEngine(small_testbed.simulator, warm_start=True)
+        cold = SimulationEngine(small_testbed.simulator, warm_start=False)
+        for a, b in zip(warm.simulate_many(configs), cold.simulate_many(configs)):
+            assert a.routes == b.routes
+
+    def test_direct_warm_start_api(self, mini_simulator):
+        base = mini_simulator.simulate(anycast_all(LINKS))
+        config = AnnouncementConfig(announced=frozenset(["l2"]))
+        warm = mini_simulator.simulate(config, warm_start=base.routes)
+        cold = mini_simulator.simulate(config)
+        assert warm.warm_started and not cold.warm_started
+        assert warm.routes == cold.routes
+        assert warm.catchments == cold.catchments
+
+
+class TestStats:
+    def test_since_reports_deltas(self, mini_simulator):
+        engine = SimulationEngine(mini_simulator)
+        engine.simulate(anycast_all(LINKS))
+        snapshot = engine.stats.copy()
+        engine.simulate(anycast_all(LINKS))  # hit
+        delta = engine.stats.since(snapshot)
+        assert delta.configs_requested == 1
+        assert delta.configs_simulated == 0
+        assert delta.cache_hits == 1
+
+    def test_summary_renders(self):
+        text = EngineStats(configs_simulated=3, configs_requested=5).summary()
+        assert "3 simulated / 5 requested" in text
+
+
+class TestSerialParallelEquivalence:
+    def test_parallel_run_is_bit_identical(self, small_testbed):
+        serial = SpoofTracker(small_testbed, workers=1)
+        parallel = SpoofTracker(small_testbed, workers=2)
+        try:
+            a = serial.run(max_configs=12, split_threshold=5, split_budget=8)
+            b = parallel.run(max_configs=12, split_threshold=5, split_budget=8)
+        finally:
+            parallel.engine.close()
+        assert a.universe == b.universe
+        assert a.catchment_history == b.catchment_history
+        assert a.clusters == b.clusters
+        assert a.steps == b.steps
+        assert b.engine_stats.configs_simulated > 0
+
+    def test_parallel_engine_matches_serial_routes(self, small_testbed):
+        tracker = SpoofTracker(small_testbed)
+        configs = tracker.schedule[:10]
+        serial = SimulationEngine(small_testbed.simulator, workers=1)
+        with SimulationEngine(
+            small_testbed.simulator, workers=2, spec=small_testbed.spec
+        ) as parallel:
+            fanned = parallel.simulate_many(configs)
+        plain = serial.simulate_many(configs)
+        for a, b in zip(plain, fanned):
+            assert a.routes == b.routes
+            assert a.catchments == b.catchments

@@ -1,9 +1,11 @@
 """Tests for the end-to-end SpoofTracker pipeline."""
 
 import random
+from dataclasses import replace
 
 import pytest
 
+from repro.bgp.announcement import anycast_all
 from repro.core.configgen import ScheduleParams
 from repro.core.pipeline import SpoofTracker, build_testbed
 from repro.errors import ReproError
@@ -28,6 +30,46 @@ class TestBuildTestbed:
             num_probes=10,
         )
         assert testbed.topology.params.seed == 9
+
+    def test_seed_override_preserves_every_params_field(self):
+        # Regression: the override used to rebuild TopologyParams from a
+        # hand-enumerated field list, silently resetting any field not on
+        # the list.  Non-default values must all survive.
+        params = TopologyParams(
+            num_tier1=4,
+            num_transit=20,
+            num_stub=60,
+            transit_provider_choices=(1, 3),
+            stub_provider_choices=(2, 2),
+            transit_peering_probability=0.31,
+            stub_multihome_fraction=0.77,
+            seed=0,
+        )
+        testbed = build_testbed(
+            seed=9,
+            topology_params=params,
+            num_links=3,
+            num_vantages=5,
+            num_probes=10,
+        )
+        assert testbed.topology.params == replace(params, seed=9)
+
+    def test_spec_rebuilds_identical_simulator(self):
+        testbed = build_testbed(
+            seed=7,
+            topology_params=TopologyParams(
+                num_tier1=4, num_transit=20, num_stub=60, seed=7
+            ),
+            num_links=3,
+            num_vantages=5,
+            num_probes=10,
+        )
+        assert testbed.spec is not None
+        rebuilt = testbed.spec.build_simulator()
+        config = anycast_all(testbed.origin.link_ids)
+        assert rebuilt.simulate(config).routes == testbed.simulator.simulate(
+            config
+        ).routes
 
     def test_deterministic(self):
         kwargs = dict(
@@ -146,6 +188,35 @@ class TestTrackerModes:
             split.split_report.configs_deployed
         )
         assert any(step.phase == "split" for step in split.steps)
+
+    def test_split_steps_show_per_config_progression(self, small_testbed):
+        # Regression: split-phase StepStats used to be appended after the
+        # splitter had fully refined the state, so every split step showed
+        # the identical final counts.  They must now track the per-config
+        # snapshots: cluster counts non-decreasing, and actually moving.
+        tracker = SpoofTracker(small_testbed)
+        report = tracker.run(max_configs=26, split_threshold=5, split_budget=15)
+        split_steps = [s for s in report.steps if s.phase == "split"]
+        assert len(split_steps) >= 2
+        counts = [s.num_clusters for s in split_steps]
+        means = [s.mean_cluster_size for s in split_steps]
+        assert counts == sorted(counts)  # refinement only adds clusters
+        assert all(b <= a + 1e-9 for a, b in zip(means, means[1:]))
+        assert len(set(counts)) > 1  # not the final state repeated
+        # The last snapshot is the final refined state.
+        assert split_steps[-1].num_clusters == len(report.clusters)
+
+    def test_report_engine_stats_and_repeat_is_free(self, small_testbed):
+        tracker = SpoofTracker(small_testbed)
+        first = tracker.run(max_configs=8)
+        assert first.engine_stats is not None
+        assert first.engine_stats.configs_simulated >= 8
+        assert "simulation engine" in first.summary()
+        second = tracker.run(max_configs=8)
+        # Same schedule through the same engine: zero new fixpoints.
+        assert second.engine_stats.configs_simulated == 0
+        assert second.engine_stats.cache_hits == 8
+        assert second.clusters == first.clusters
 
     def test_split_with_placement_localizes(self, small_testbed):
         tracker = SpoofTracker(small_testbed)

@@ -161,3 +161,38 @@ class TestPercentileCurve:
     def test_rejects_bad_percentile(self):
         with pytest.raises(ValueError):
             percentile_curve([[1.0]], 200.0)
+
+
+class TestEngineIntegration:
+    def test_from_engine_measures_through_cache(self, small_testbed):
+        from repro.bgp.announcement import AnnouncementConfig, anycast_all
+        from repro.core.engine import SimulationEngine
+        from repro.core.scheduler import measured_catchment_history
+
+        engine = SimulationEngine(small_testbed.simulator)
+        links = small_testbed.origin.link_ids
+        configs = [anycast_all(links)] + [
+            AnnouncementConfig(announced=frozenset(links) - {link})
+            for link in sorted(links)[:3]
+        ]
+        universe, history = measured_catchment_history(engine, configs)
+        assert len(history) == len(configs)
+        assert all(
+            members <= set(universe)
+            for catchments in history
+            for members in catchments.values()
+        )
+        simulated = engine.stats.configs_simulated
+        scheduler = GreedyScheduler.from_engine(engine, configs)
+        # The scheduler replays configurations the engine already saw.
+        assert engine.stats.configs_simulated == simulated
+        order, curve = scheduler.run()
+        assert curve == sorted(curve, reverse=True)
+
+    def test_empty_configs_rejected(self, small_testbed):
+        from repro.core.engine import SimulationEngine
+        from repro.core.scheduler import measured_catchment_history
+
+        engine = SimulationEngine(small_testbed.simulator)
+        with pytest.raises(SchedulingError):
+            measured_catchment_history(engine, [])
