@@ -18,6 +18,7 @@ from .figures import (
 )
 from .ascii_plot import PlotOptions, plot_figure, plot_series
 from .headline import HeadlineMetric, headline_metrics, render_headline
+from .live import live_markdown, render_window, render_window_table
 from .report import figure_markdown, render_figure, render_series
 from .stats import (
     ccdf_points,
@@ -53,6 +54,9 @@ __all__ = [
     "HeadlineMetric",
     "headline_metrics",
     "render_headline",
+    "render_window",
+    "render_window_table",
+    "live_markdown",
     "Table",
     "table1",
     "table2",

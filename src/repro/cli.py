@@ -6,6 +6,8 @@ Subcommands:
 * ``tables`` — print Table I (testbed PoPs) and Table II (taxonomy).
 * ``track`` — run the end-to-end localization pipeline on a synthetic
   attack and print the report.
+* ``live`` — replay a synthetic attack through the online traceback
+  service (``repro.live``) with rolling per-window attribution.
 * ``experiments`` — regenerate the EXPERIMENTS.md body from a fresh run.
 """
 
@@ -20,7 +22,7 @@ from typing import List, Optional, Sequence
 from .analysis.figures import FIGURE_RUNNERS, EvaluationRun
 from .analysis.report import figure_markdown, render_figure
 from .analysis.tables import table1, table2
-from .core.pipeline import SpoofTracker, build_testbed
+from .core.pipeline import SpoofTracker, TestbedSpec, build_testbed
 from .spoof.sources import PLACEMENT_DISTRIBUTIONS, make_placement
 from .topology.generator import TopologyParams
 
@@ -41,8 +43,8 @@ def _build_run(args: argparse.Namespace) -> EvaluationRun:
         testbed=testbed,
         seed=args.seed,
         max_configs=args.max_configs,
-        measured=getattr(args, "measured", False),
-        workers=getattr(args, "workers", 1),
+        measured=args.measured,
+        workers=args.workers,
     )
 
 
@@ -148,6 +150,73 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_churn(text: str) -> tuple:
+    """Parse a ``WINDOW:DRIFT`` churn event specification."""
+    try:
+        window_text, drift_text = text.split(":", 1)
+        return (int(window_text), float(drift_text))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"churn event {text!r} is not WINDOW:DRIFT (e.g. 12:0.3)"
+        )
+
+
+def _cmd_live(args: argparse.Namespace) -> int:
+    from .analysis.live import render_window, render_window_table
+    from .live import LiveTracebackService, ReplayScenario, load_checkpoint
+
+    if args.resume:
+        service = load_checkpoint(args.resume, workers=args.workers)
+    else:
+        if args.checkpoint_every > 0 and not args.checkpoint:
+            print("--checkpoint-every needs --checkpoint PATH", file=sys.stderr)
+            return 2
+        scenario = ReplayScenario(
+            seed=args.seed,
+            distribution=args.distribution,
+            num_sources=args.sources,
+            max_configs=args.max_configs,
+            window_minutes=args.window_minutes,
+            batches_per_window=args.batches_per_window,
+            queue_capacity=args.queue_capacity,
+            drop_policy=args.drop_policy,
+            adaptive=not args.in_order,
+            min_configs=args.min_configs,
+            stop_entropy=args.stop_entropy,
+            stop_volume_share=args.stop_volume_share,
+            churn_events=tuple(args.churn),
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_path=args.checkpoint or "",
+            packets_per_window=args.packets_per_window,
+        )
+        params = replace(SCALES[args.scale], seed=args.seed)
+        spec = TestbedSpec(seed=args.seed, topology_params=params)
+        service = LiveTracebackService(
+            scenario=scenario, spec=spec, workers=args.workers
+        )
+    on_window = None
+    if not args.quiet:
+
+        def on_window(stats):
+            print(render_window(stats), file=sys.stderr)
+
+    try:
+        report = service.run(on_window=on_window)
+        if args.checkpoint and args.checkpoint_every == 0:
+            service.checkpoint(args.checkpoint)
+            print(f"wrote final checkpoint {args.checkpoint}", file=sys.stderr)
+    finally:
+        service.close()
+    print(report.summary())
+    print()
+    print(render_window_table(report.windows, every=args.table_every))
+    true_sources = ", ".join(
+        str(asn) for asn in sorted(report.placement.spoofing_ases)
+    )
+    print(f"ground-truth source ASes: {true_sources}")
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     run = _build_run(args)
     sections: List[str] = []
@@ -176,12 +245,6 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0, help="global PRNG seed")
     parser.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help="simulation worker processes (1 = serial; results are identical)",
-    )
-    parser.add_argument(
         "--scale",
         choices=sorted(SCALES),
         default="small",
@@ -189,19 +252,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    def add_workers(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="simulation worker processes (1 = serial; results are identical)",
+        )
+
+    def add_run_options(sub: argparse.ArgumentParser) -> None:
+        add_workers(sub)
+        sub.add_argument(
+            "--max-configs", type=int, default=None, help="truncate the schedule"
+        )
+        sub.add_argument(
+            "--measured",
+            action="store_true",
+            help="use the full measurement pipeline instead of ground truth",
+        )
+
     figures = subparsers.add_parser("figures", help="reproduce paper figures")
     figures.add_argument("ids", nargs="*", help="figure ids (default: all)")
     figures.add_argument(
-        "--max-configs", type=int, default=None, help="truncate the schedule"
-    )
-    figures.add_argument(
         "--plot", action="store_true", help="also render ASCII plots"
     )
-    figures.add_argument(
-        "--measured",
-        action="store_true",
-        help="use the full measurement pipeline instead of ground truth",
-    )
+    add_run_options(figures)
     figures.set_defaults(func=_cmd_figures)
 
     tables = subparsers.add_parser("tables", help="print Tables I and II")
@@ -216,34 +291,124 @@ def build_parser() -> argparse.ArgumentParser:
     )
     track.add_argument("--sources", type=int, default=1, help="number of sources")
     track.add_argument(
-        "--max-configs", type=int, default=None, help="truncate the schedule"
-    )
-    track.add_argument(
-        "--measured",
-        action="store_true",
-        help="measure catchments with feeds/traceroutes instead of ground truth",
-    )
-    track.add_argument(
         "--split-threshold",
         type=int,
         default=None,
         help="run the §V-B large-cluster splitter on clusters above this size",
     )
+    add_run_options(track)
     track.set_defaults(func=_cmd_track)
+
+    live = subparsers.add_parser(
+        "live",
+        help="replay a synthetic attack through the online traceback service",
+    )
+    live.add_argument(
+        "--distribution",
+        choices=PLACEMENT_DISTRIBUTIONS,
+        default="pareto",
+        help="spoofing-source placement",
+    )
+    live.add_argument(
+        "--sources", type=int, default=40, help="number of sources"
+    )
+    live.add_argument(
+        "--max-configs", type=int, default=12, help="truncate the schedule"
+    )
+    live.add_argument(
+        "--window-minutes",
+        type=float,
+        default=20.0,
+        help="honeypot counter-read interval",
+    )
+    live.add_argument(
+        "--batches-per-window",
+        type=int,
+        default=1,
+        help="traffic batches offered to the ingest queue per window",
+    )
+    live.add_argument(
+        "--queue-capacity", type=int, default=64, help="ingest queue bound"
+    )
+    live.add_argument(
+        "--drop-policy",
+        choices=("newest", "oldest"),
+        default="newest",
+        help="which batch to drop when the queue overflows",
+    )
+    live.add_argument(
+        "--in-order",
+        action="store_true",
+        help="deploy configurations in schedule order (no adaptive reordering)",
+    )
+    live.add_argument(
+        "--min-configs",
+        type=int,
+        default=3,
+        help="never short-circuit before this many configurations",
+    )
+    live.add_argument(
+        "--stop-entropy",
+        type=float,
+        default=None,
+        help="stop once attribution entropy (bits) drops to this",
+    )
+    live.add_argument(
+        "--stop-volume-share",
+        type=float,
+        default=None,
+        help="stop once a singleton cluster holds this estimated-volume share",
+    )
+    live.add_argument(
+        "--churn",
+        type=_parse_churn,
+        action="append",
+        default=[],
+        metavar="WINDOW:DRIFT",
+        help="schedule route churn (repeatable, e.g. --churn 12:0.3)",
+    )
+    live.add_argument(
+        "--packets-per-window",
+        type=int,
+        default=0,
+        help=">0 switches to packet-sampled traffic at this rate",
+    )
+    live.add_argument(
+        "--checkpoint", default=None, help="checkpoint JSON path"
+    )
+    live.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        help="checkpoint every N windows (0 = only final, with --checkpoint)",
+    )
+    live.add_argument(
+        "--resume",
+        default=None,
+        help="resume from a checkpoint (other scenario flags are ignored)",
+    )
+    live.add_argument(
+        "--table-every",
+        type=int,
+        default=4,
+        help="row stride of the final window table",
+    )
+    live.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress rolling per-window progress on stderr",
+    )
+    add_workers(live)
+    live.set_defaults(func=_cmd_live)
 
     headline = subparsers.add_parser(
         "headline", help="paper-vs-reproduction headline metrics"
     )
-    headline.add_argument(
-        "--max-configs", type=int, default=None, help="truncate the schedule"
-    )
+    add_run_options(headline)
     headline.set_defaults(func=_cmd_headline)
 
     dataset = subparsers.add_parser(
         "dataset", help="export the measured catchment dataset as JSON (§VI)"
-    )
-    dataset.add_argument(
-        "--max-configs", type=int, default=None, help="truncate the schedule"
     )
     dataset.add_argument(
         "--output", default="spoof-dataset.json", help="output JSON path"
@@ -253,22 +418,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also export per-configuration forwarding paths (JSONL)",
     )
+    add_run_options(dataset)
     dataset.set_defaults(func=_cmd_dataset)
 
     experiments = subparsers.add_parser(
         "experiments", help="regenerate EXPERIMENTS.md figure sections"
     )
     experiments.add_argument(
-        "--max-configs", type=int, default=None, help="truncate the schedule"
-    )
-    experiments.add_argument(
         "--output", default="-", help="output path ('-' for stdout)"
     )
-    experiments.add_argument(
-        "--measured",
-        action="store_true",
-        help="use the full measurement pipeline instead of ground truth",
-    )
+    add_run_options(experiments)
     experiments.set_defaults(func=_cmd_experiments)
     return parser
 

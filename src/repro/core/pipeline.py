@@ -17,6 +17,7 @@ from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..live.service import LiveRunStats
     from .refinement import SplitReport
 
 from ..bgp.announcement import AnnouncementConfig
@@ -228,6 +229,9 @@ class TrackerReport:
         measured: whether catchments came from feeds/traceroutes.
         engine_stats: simulation-engine counters for this run (configs
             simulated, cache hits, warm-start savings, wall time).
+        live_stats: online-runtime counters when the report came from a
+            :class:`~repro.live.service.LiveTracebackService` replay
+            (windows observed, dropped volume, dwell, stop reason).
     """
 
     universe: FrozenSet[ASN]
@@ -239,6 +243,7 @@ class TrackerReport:
     measured: bool = False
     split_report: Optional["SplitReport"] = None
     engine_stats: Optional[EngineStats] = None
+    live_stats: Optional["LiveRunStats"] = None
 
     @property
     def mean_cluster_size(self) -> float:
@@ -263,6 +268,8 @@ class TrackerReport:
         ]
         if self.engine_stats is not None:
             lines.append(f"simulation engine       : {self.engine_stats.summary()}")
+        if self.live_stats is not None:
+            lines.append(f"live runtime            : {self.live_stats.summary()}")
         if self.localization is not None:
             top = self.localization.top(3)
             lines.append("most-suspect clusters   :")

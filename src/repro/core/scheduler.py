@@ -72,6 +72,22 @@ def measured_catchment_history(
     return sorted(members), history
 
 
+def refinement_gain(
+    state: ClusterState, catchments: Iterable[Iterable[ASN]]
+) -> int:
+    """Splits that refining ``state`` with ``catchments`` would produce.
+
+    Evaluated on a copy — ``state`` is left untouched.  This is the
+    utility the §V-C greedy scheduler maximizes per step, shared with the
+    live controller's adaptive reordering.
+    """
+    working = state.copy()
+    splits = 0
+    for members in catchments:
+        splits += working.refine(members)
+    return splits
+
+
 def mean_cluster_size_curve(
     universe: Sequence[ASN],
     catchment_history: Sequence[Mapping[LinkId, Catchment]],
@@ -174,11 +190,9 @@ class GreedyScheduler:
 
     def _gain(self, state: ClusterState, config_index: int) -> int:
         """Splits the configuration would add to the current partition."""
-        working = state.copy()
-        splits = 0
-        for _, members in self._restricted[config_index]:
-            splits += working.refine(members)
-        return splits
+        return refinement_gain(
+            state, (members for _, members in self._restricted[config_index])
+        )
 
     def run(
         self, max_steps: Optional[int] = None

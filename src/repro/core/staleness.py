@@ -21,11 +21,11 @@ This module makes the trade-off measurable:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import FrozenSet, List, Sequence
 
 from ..bgp.announcement import AnnouncementConfig
 from ..bgp.policy import PolicyModel
-from ..bgp.simulator import RoutingSimulator
+from ..bgp.simulator import RoutingOutcome, RoutingSimulator
 from ..topology.graph import ASGraph
 from ..topology.peering import OriginNetwork
 from ..types import ASN, Catchment
@@ -98,6 +98,31 @@ class _DriftedPolicy(PolicyModel):
         return self.tiebreak_salt
 
 
+def misplaced_fraction(
+    stale_outcome: "RoutingOutcome",
+    live_outcome: "RoutingOutcome",
+    universe: FrozenSet[ASN],
+) -> float:
+    """Fraction of sources whose live catchment differs from the stale map.
+
+    Compares two outcomes of the *same* configuration simulated under the
+    measurement-time and current policies; only sources that still hold a
+    route live are comparable.  This is the churn signal the live
+    controller uses to decide whether stale catchments need remeasuring.
+    """
+    comparable = [
+        asn for asn in universe if live_outcome.catchment_of(asn) is not None
+    ]
+    if not comparable:
+        return 0.0
+    misplaced = sum(
+        1
+        for asn in comparable
+        if stale_outcome.catchment_of(asn) != live_outcome.catchment_of(asn)
+    )
+    return misplaced / len(comparable)
+
+
 @dataclass
 class StalenessPoint:
     """Accuracy of stale catchments at one drift level.
@@ -145,16 +170,7 @@ class StalenessExperiment:
         live_outcomes = [live_sim.simulate(c) for c in self.configs]
 
         stale_first, live_first = self._stale_outcomes[0], live_outcomes[0]
-        comparable = [
-            asn
-            for asn in self.universe
-            if live_first.catchment_of(asn) is not None
-        ]
-        misplaced = sum(
-            1
-            for asn in comparable
-            if stale_first.catchment_of(asn) != live_first.catchment_of(asn)
-        )
+        misplaced = misplaced_fraction(stale_first, live_first, self.universe)
 
         stale_state = self._partition(self._stale_outcomes)
         live_state = self._partition(live_outcomes)
@@ -169,7 +185,7 @@ class StalenessExperiment:
                     agreements += 1
         return StalenessPoint(
             drift=drift,
-            misplaced_fraction=misplaced / len(comparable) if comparable else 0.0,
+            misplaced_fraction=misplaced,
             cluster_agreement=agreements / checked if checked else 1.0,
         )
 

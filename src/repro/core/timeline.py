@@ -68,6 +68,19 @@ class CampaignTimeline:
             + (self.rounds_per_config + 1) * self.probe_interval_minutes
         )
 
+    def windows_per_config(self, window_minutes: float) -> int:
+        """Observation windows fitting inside one configuration's dwell.
+
+        The live runtime reads honeypot counters once per window; this is
+        how many reads one configuration's dwell affords (at least one).
+
+        Raises:
+            ValueError: if ``window_minutes`` is not positive.
+        """
+        if window_minutes <= 0:
+            raise ValueError("window length must be positive")
+        return max(1, int(self.minutes_per_config // window_minutes))
+
     def duration(self, num_configs: int) -> timedelta:
         """Wall-clock duration to deploy ``num_configs`` configurations."""
         if num_configs < 0:

@@ -54,3 +54,8 @@ class SchedulingError(ReproError):
 
 class DataFormatError(ReproError):
     """Raised when an on-disk dataset (as-rel, paths, traces) is malformed."""
+
+
+class LiveServiceError(ReproError):
+    """Raised when the online attribution runtime is misused or its
+    state (events, checkpoints) is inconsistent."""

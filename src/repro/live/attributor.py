@@ -1,0 +1,273 @@
+"""Incremental attribution: live clusters + rolling volume re-scoring.
+
+The batch pipeline refines clusters only after the whole schedule ran and
+solves the volume system once.  :class:`LiveAttributor` maintains the same
+state *online*: each :class:`~repro.live.events.ConfigApplied` event
+refines the partition immediately, each accepted observation window
+accumulates per-link volume against the configuration that was active,
+and :meth:`attribution` re-solves the NNLS system on demand over whatever
+has been observed so far.  Because refinement only ever splits clusters,
+the rolling partition tightens monotonically; because per-configuration
+volumes are normalized by *offered* volume, dropped windows shrink
+confidence but never bias the estimates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional
+
+from ..bgp.announcement import AnnouncementConfig
+from ..core.clustering import ClusterState
+from ..core.localization import LocalizationResult, SpoofLocalizer
+from ..errors import LiveServiceError
+from ..types import ASN, Catchment, LinkId
+
+
+@dataclass
+class ConfigObservations:
+    """Volume evidence accumulated while one configuration was active.
+
+    Attributes:
+        label: the configuration's display label.
+        catchments: its catchment map restricted to the universe.
+        volumes: per-link volume summed over accepted windows.
+        offered_volume: total volume the sources originated across those
+            windows (attributed + unattributed), the normalizer that makes
+            rolling estimates comparable to the batch pipeline's
+            unit-volume observations.
+        windows: accepted observation windows.
+    """
+
+    label: str
+    catchments: Dict[LinkId, Catchment]
+    volumes: Dict[LinkId, float] = field(default_factory=dict)
+    offered_volume: float = 0.0
+    windows: int = 0
+
+    def normalized_volumes(self) -> Dict[LinkId, float]:
+        """Per-link volume fractions of the offered volume."""
+        if self.offered_volume <= 0:
+            return {link: 0.0 for link in self.catchments}
+        volumes = {link: 0.0 for link in self.catchments}
+        for link, volume in self.volumes.items():
+            volumes[link] = volume / self.offered_volume
+        return volumes
+
+
+class LiveAttributor:
+    """Maintains live clusters and re-scores volumes incrementally.
+
+    Args:
+        universe: sources under analysis (the paper's §IV-d rule: ASes
+            covered by the first anycast configuration).
+    """
+
+    def __init__(self, universe: Iterable[ASN]) -> None:
+        self.universe: FrozenSet[ASN] = frozenset(universe)
+        if not self.universe:
+            raise LiveServiceError("attributor universe must be non-empty")
+        self.state = ClusterState(self.universe)
+        self.observations: List[ConfigObservations] = []
+        self._cached: Optional[LocalizationResult] = None
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    # Event intake
+    # ------------------------------------------------------------------
+
+    @property
+    def configs_applied(self) -> int:
+        """Configurations whose catchments have refined the partition."""
+        return len(self.observations)
+
+    def apply_config(
+        self,
+        config: AnnouncementConfig,
+        catchments: Mapping[LinkId, Catchment],
+    ) -> int:
+        """Refine clusters with a newly available configuration.
+
+        Returns the number of cluster splits the refinement produced.
+        Subsequent :meth:`observe` calls accumulate against this
+        configuration until the next one is applied.
+        """
+        restricted = {
+            link: frozenset(members) & self.universe
+            for link, members in catchments.items()
+        }
+        splits = self.state.refine_with_catchments(restricted)
+        self.observations.append(
+            ConfigObservations(
+                label=config.label or config.describe(),
+                catchments=restricted,
+            )
+        )
+        self._dirty = True
+        return splits
+
+    def observe(
+        self, volumes: Mapping[LinkId, float], offered_volume: float
+    ) -> None:
+        """Accumulate one accepted window against the active configuration.
+
+        Raises:
+            LiveServiceError: before any configuration was applied.
+        """
+        if not self.observations:
+            raise LiveServiceError(
+                "observed traffic before any configuration was applied"
+            )
+        current = self.observations[-1]
+        for link, volume in volumes.items():
+            current.volumes[link] = current.volumes.get(link, 0.0) + volume
+        current.offered_volume += offered_volume
+        current.windows += 1
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    # Rolling outputs
+    # ------------------------------------------------------------------
+
+    def clusters(self) -> List[FrozenSet[ASN]]:
+        """Current partition, largest cluster first."""
+        return self.state.clusters()
+
+    def attribution(self) -> Optional[LocalizationResult]:
+        """Re-solve the volume system over everything observed so far.
+
+        Only configurations with at least one accepted window contribute
+        rows (a configuration whose every window was dropped carries no
+        evidence).  Returns None until some traffic has been observed.
+        """
+        if not self._dirty:
+            return self._cached
+        observed = [obs for obs in self.observations if obs.offered_volume > 0]
+        if not observed:
+            self._cached = None
+            self._dirty = False
+            return None
+        localizer = SpoofLocalizer(
+            self.state.clusters(), [obs.catchments for obs in observed]
+        )
+        self._cached = localizer.localize(
+            [obs.normalized_volumes() for obs in observed]
+        )
+        self._dirty = False
+        return self._cached
+
+    def attribution_entropy(self) -> float:
+        """Shannon entropy (bits) of the estimated cluster-volume shares.
+
+        High entropy = volume spread over many clusters (we know little);
+        0.0 = all estimated volume in one cluster, or nothing observed
+        yet.  The controller short-circuits on low entropy.
+        """
+        result = self.attribution()
+        if result is None:
+            return 0.0
+        shares = [
+            cluster.estimated_volume
+            for cluster in result.ranked
+            if cluster.estimated_volume > 0
+        ]
+        total = sum(shares)
+        if total <= 0 or len(shares) < 2:
+            return 0.0
+        return -sum(
+            (share / total) * math.log2(share / total) for share in shares
+        )
+
+    def volume_by_as(self) -> Dict[ASN, float]:
+        """Estimated per-AS volume: each cluster's estimate spread evenly.
+
+        This is the weighting the volume-aware controller uses to decide
+        which clusters are worth splitting next.
+        """
+        result = self.attribution()
+        estimates: Dict[ASN, float] = {}
+        if result is None:
+            return estimates
+        for cluster in result.ranked:
+            if cluster.estimated_volume <= 0:
+                continue
+            share = cluster.estimated_volume / cluster.size
+            for asn in cluster.members:
+                estimates[asn] = share
+        return estimates
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def rebuild_catchments(
+        self, histories: List[Mapping[LinkId, Catchment]]
+    ) -> None:
+        """Swap in fresh catchment maps after a remeasurement.
+
+        The partition is recomputed from scratch over the new maps while
+        every volume observation is kept — the evidence was real, only the
+        stale maps it was interpreted against changed.
+
+        Raises:
+            LiveServiceError: when map count disagrees with the number of
+                applied configurations.
+        """
+        if len(histories) != len(self.observations):
+            raise LiveServiceError(
+                f"{len(histories)} remeasured maps for "
+                f"{len(self.observations)} applied configurations"
+            )
+        self.state = ClusterState(self.universe)
+        for obs, catchments in zip(self.observations, histories):
+            restricted = {
+                link: frozenset(members) & self.universe
+                for link, members in catchments.items()
+            }
+            obs.catchments = restricted
+            self.state.refine_with_catchments(restricted)
+        self._dirty = True
+
+    def as_serializable(self) -> Dict:
+        """JSON-safe dump of the attributor's full state."""
+        return {
+            "universe": sorted(self.universe),
+            "clusters": self.state.as_serializable(),
+            "observations": [
+                {
+                    "label": obs.label,
+                    "catchments": {
+                        link: sorted(members)
+                        for link, members in sorted(obs.catchments.items())
+                    },
+                    "volumes": {
+                        link: volume
+                        for link, volume in sorted(obs.volumes.items())
+                    },
+                    "offered_volume": obs.offered_volume,
+                    "windows": obs.windows,
+                }
+                for obs in self.observations
+            ],
+        }
+
+    @classmethod
+    def from_serializable(cls, payload: Mapping) -> "LiveAttributor":
+        """Rebuild an attributor dumped by :meth:`as_serializable`."""
+        attributor = cls(payload["universe"])
+        attributor.state = ClusterState.from_serializable(payload["clusters"])
+        for entry in payload["observations"]:
+            attributor.observations.append(
+                ConfigObservations(
+                    label=entry["label"],
+                    catchments={
+                        link: frozenset(members)
+                        for link, members in entry["catchments"].items()
+                    },
+                    volumes=dict(entry["volumes"]),
+                    offered_volume=entry["offered_volume"],
+                    windows=entry["windows"],
+                )
+            )
+        return attributor

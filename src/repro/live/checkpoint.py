@@ -1,0 +1,60 @@
+"""Serialize/restore the full live-service state for mid-attack resume.
+
+A checkpoint is a single JSON document.  Derivable state — topology,
+routing, schedule, stale catchment maps — is *not* stored: it is rebuilt
+deterministically from the embedded :class:`~repro.core.pipeline.TestbedSpec`
+on load.  Only observed state travels: the clock, controller and
+attributor progress, pending ingest batches with their drop accounting,
+the decaying volume window, and the per-window statistics emitted so far.
+Traffic uses stateless per-window seeding, so no PRNG state is needed:
+a restored run replays the exact windows the killed run would have seen.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from ..errors import LiveServiceError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .service import LiveTracebackService
+
+#: Accepted checkpoint document version.
+CHECKPOINT_VERSION = 1
+
+
+def save_checkpoint(service: "LiveTracebackService", path: str) -> str:
+    """Write the service's full state to ``path`` as JSON; returns the path."""
+    payload = service.as_serializable()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    return path
+
+
+def load_checkpoint(path: str, workers: int = 1) -> "LiveTracebackService":
+    """Rebuild a service from a checkpoint written by :func:`save_checkpoint`.
+
+    Args:
+        path: checkpoint JSON path.
+        workers: simulation worker processes for the rebuilt engine (the
+            worker count is runtime configuration, not state — results
+            are identical either way).
+
+    Raises:
+        LiveServiceError: on a malformed or version-mismatched document.
+    """
+    from .service import LiveTracebackService
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise LiveServiceError(f"cannot read checkpoint {path!r}: {exc}")
+    version = payload.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise LiveServiceError(
+            f"checkpoint {path!r} has version {version!r}; "
+            f"this build reads version {CHECKPOINT_VERSION}"
+        )
+    return LiveTracebackService.from_serializable(payload, workers=workers)

@@ -1,0 +1,246 @@
+"""Attack-time control loop: what to announce next, and when to stop.
+
+During an attack every configuration costs real time — a
+:class:`~repro.core.timeline.CampaignTimeline` dwell — so the order
+matters and so does knowing when more configurations cannot help.  The
+controller drives the scheduler adaptively:
+
+* **reorder** — among the remaining configurations, deploy the one whose
+  catchments most reduce the volume-weighted cluster cost (the §VIII
+  volume-aware objective, fed by the live attributor's rolling estimates;
+  falls back to plain split gain before any volume has been attributed),
+* **short-circuit** — stop when no remaining configuration can split
+  anything, when attribution entropy collapsed below a threshold, or when
+  the top cluster concentrates enough estimated volume,
+* **remeasure** — when observed route churn misplaces more than a
+  threshold fraction of sources, declare the catchment maps stale and
+  charge the dwell cost of re-measuring every deployed configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..bgp.announcement import AnnouncementConfig
+from ..core.clustering import ClusterState
+from ..core.scheduler import refinement_gain
+from ..core.timeline import CampaignTimeline
+from ..errors import LiveServiceError
+from ..types import ASN, Catchment, LinkId
+from .attributor import LiveAttributor
+
+
+@dataclass(frozen=True)
+class ControllerPolicy:
+    """Knobs of the attack-time control loop.
+
+    Attributes:
+        adaptive: reorder remaining configurations by expected utility
+            (False = deploy in schedule order, the batch behaviour).
+        min_configs: never short-circuit before this many configurations.
+        stop_entropy: stop once attribution entropy (bits) falls below
+            this (None = never stop on entropy).
+        stop_volume_share: stop once the top-ranked cluster holds at
+            least this share of the estimated volume *and* is a singleton
+            (None = never stop on concentration).
+        churn_remeasure_threshold: misplaced-source fraction above which
+            a churn event invalidates the stale catchment maps.
+    """
+
+    adaptive: bool = True
+    min_configs: int = 3
+    stop_entropy: Optional[float] = None
+    stop_volume_share: Optional[float] = None
+    churn_remeasure_threshold: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.min_configs < 1:
+            raise LiveServiceError("min_configs must be at least 1")
+        if self.stop_volume_share is not None and not (
+            0.0 < self.stop_volume_share <= 1.0
+        ):
+            raise LiveServiceError("stop_volume_share must be in (0, 1]")
+        if not 0.0 <= self.churn_remeasure_threshold <= 1.0:
+            raise LiveServiceError(
+                "churn_remeasure_threshold must be in [0, 1]"
+            )
+
+
+class AdaptiveController:
+    """Selects the next configuration and accounts campaign dwell time.
+
+    Args:
+        schedule: the full (possibly truncated) announcement schedule.
+        catchment_maps: pre-measured catchment maps aligned with
+            ``schedule``, restricted to the analysis universe — the
+            paper's attack-time setting, where catchments were measured
+            before the attack and deployment only reads counters.
+        timeline: dwell-cost model each deployment is charged against.
+        policy: control knobs.
+    """
+
+    def __init__(
+        self,
+        schedule: Sequence[AnnouncementConfig],
+        catchment_maps: Sequence[Mapping[LinkId, Catchment]],
+        timeline: Optional[CampaignTimeline] = None,
+        policy: Optional[ControllerPolicy] = None,
+    ) -> None:
+        if len(schedule) != len(catchment_maps):
+            raise LiveServiceError(
+                f"{len(schedule)} configurations vs "
+                f"{len(catchment_maps)} catchment maps"
+            )
+        if not schedule:
+            raise LiveServiceError("controller needs a non-empty schedule")
+        self.schedule = list(schedule)
+        self.catchment_maps = [dict(maps) for maps in catchment_maps]
+        self.timeline = timeline or CampaignTimeline()
+        self.policy = policy or ControllerPolicy()
+        self.remaining: List[int] = list(range(len(self.schedule)))
+        self.configs_consumed = 0
+        self.dwell_minutes = 0.0
+        self.remeasurements = 0
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+
+    def _weighted_cost(
+        self, state: ClusterState, volume_by_as: Mapping[ASN, float]
+    ) -> float:
+        """Σ over clusters of estimated cluster volume × cluster size."""
+        cost = 0.0
+        for cluster in state.clusters():
+            volume = sum(volume_by_as.get(asn, 0.0) for asn in cluster)
+            cost += volume * len(cluster)
+        return cost
+
+    def _score(
+        self,
+        state: ClusterState,
+        index: int,
+        volume_by_as: Mapping[ASN, float],
+    ) -> float:
+        """Utility of deploying ``index`` next against ``state``."""
+        catchments = self.catchment_maps[index]
+        if volume_by_as:
+            working = state.copy()
+            before = self._weighted_cost(working, volume_by_as)
+            working.refine_with_catchments(catchments)
+            reduction = before - self._weighted_cost(working, volume_by_as)
+            if reduction > 0:
+                return reduction
+        # No volume evidence yet (or none of the busy clusters split):
+        # fall back to the §V-C unweighted split gain.
+        return float(refinement_gain(state, catchments.values())) * 1e-9
+
+    def select_next(self, attributor: LiveAttributor) -> Optional[int]:
+        """Pick, consume, and dwell-charge the next schedule index.
+
+        Returns None when the schedule is exhausted.  Selection is
+        deterministic: scores tie-break toward the lowest schedule index.
+        """
+        if not self.remaining:
+            return None
+        if self.policy.adaptive and attributor.configs_applied > 0:
+            volume_by_as = attributor.volume_by_as()
+            best_index = None
+            best_score = 0.0
+            for index in self.remaining:
+                score = self._score(attributor.state, index, volume_by_as)
+                if score > best_score:
+                    best_score = score
+                    best_index = index
+            choice = best_index if best_index is not None else self.remaining[0]
+        else:
+            choice = self.remaining[0]
+        self.remaining.remove(choice)
+        self.configs_consumed += 1
+        self.dwell_minutes += self.timeline.minutes_per_config
+        return choice
+
+    def should_stop(self, attributor: LiveAttributor) -> Optional[str]:
+        """Short-circuit reason, or None to keep deploying."""
+        if attributor.configs_applied < self.policy.min_configs:
+            return None
+        if self.remaining and all(
+            refinement_gain(attributor.state, self.catchment_maps[i].values())
+            == 0
+            for i in self.remaining
+        ):
+            return "no remaining configuration splits any cluster"
+        if self.policy.stop_entropy is not None:
+            entropy = attributor.attribution_entropy()
+            if attributor.attribution() is not None and (
+                entropy <= self.policy.stop_entropy
+            ):
+                return (
+                    f"attribution entropy {entropy:.3f} ≤ "
+                    f"{self.policy.stop_entropy:.3f} bits"
+                )
+        if self.policy.stop_volume_share is not None:
+            result = attributor.attribution()
+            if result is not None and result.ranked:
+                top = result.ranked[0]
+                total = sum(c.estimated_volume for c in result.ranked)
+                if (
+                    total > 0
+                    and top.size == 1
+                    and top.estimated_volume / total
+                    >= self.policy.stop_volume_share
+                ):
+                    return (
+                        f"singleton cluster holds "
+                        f"{top.estimated_volume / total:.0%} of estimated volume"
+                    )
+        return None
+
+    # ------------------------------------------------------------------
+    # Churn / remeasurement
+    # ------------------------------------------------------------------
+
+    def needs_remeasure(self, misplaced: float) -> bool:
+        """Whether a churn event's misplacement invalidates the maps."""
+        return misplaced > self.policy.churn_remeasure_threshold
+
+    def apply_remeasurement(
+        self,
+        fresh_maps: Sequence[Mapping[LinkId, Catchment]],
+        deployed_count: int,
+    ) -> None:
+        """Swap in fresh maps and charge the remeasurement dwell.
+
+        ``fresh_maps`` must cover the whole schedule (deployed and
+        remaining); re-measuring the ``deployed_count`` already-active
+        configurations costs one dwell each.
+        """
+        if len(fresh_maps) != len(self.schedule):
+            raise LiveServiceError(
+                f"{len(fresh_maps)} remeasured maps for "
+                f"{len(self.schedule)}-configuration schedule"
+            )
+        self.catchment_maps = [dict(maps) for maps in fresh_maps]
+        self.remeasurements += 1
+        self.dwell_minutes += deployed_count * self.timeline.minutes_per_config
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def as_serializable(self) -> Dict:
+        """JSON-safe dump of the controller's mutable state."""
+        return {
+            "remaining": list(self.remaining),
+            "configs_consumed": self.configs_consumed,
+            "dwell_minutes": self.dwell_minutes,
+            "remeasurements": self.remeasurements,
+        }
+
+    def restore(self, payload: Mapping) -> None:
+        """Restore mutable state dumped by :meth:`as_serializable`."""
+        self.remaining = list(payload["remaining"])
+        self.configs_consumed = int(payload["configs_consumed"])
+        self.dwell_minutes = float(payload["dwell_minutes"])
+        self.remeasurements = int(payload["remeasurements"])

@@ -16,6 +16,7 @@ from .sources import (
     uniform_placement,
 )
 from .traffic import (
+    LinkVolumeMap,
     SpoofedPacket,
     SpoofedTrafficGenerator,
     link_volumes,
@@ -33,6 +34,7 @@ __all__ = [
     "PARETO_8020_SHAPE",
     "SpoofedPacket",
     "SpoofedTrafficGenerator",
+    "LinkVolumeMap",
     "link_volumes",
     "link_volumes_from_outcome",
     "volumes_from_packets",

@@ -37,27 +37,61 @@ class SpoofedPacket:
     size_bytes: int = 64
 
 
+class LinkVolumeMap(Dict[LinkId, float]):
+    """Per-link spoofed volumes plus the volume no catchment attributed.
+
+    Behaves exactly like a ``{link: volume}`` dict (all existing callers
+    keep working), with one companion value: :attr:`unattributed`, the
+    volume originated by sources outside every catchment.  With it, volume
+    conservation holds: ``sum(volumes.values()) + volumes.unattributed``
+    equals the total volume the placement offered.
+    """
+
+    def __init__(
+        self,
+        volumes: Optional[Mapping[LinkId, float]] = None,
+        unattributed: float = 0.0,
+    ) -> None:
+        super().__init__(volumes or {})
+        #: Volume from sources with no route to the prefix under this
+        #: configuration (never observable at the origin's links).
+        self.unattributed = unattributed
+
+    @property
+    def attributed(self) -> float:
+        """Total volume that arrived on some peering link."""
+        return sum(self.values())
+
+    @property
+    def offered(self) -> float:
+        """Total volume the sources originated (attributed + unattributed)."""
+        return self.attributed + self.unattributed
+
+
 def link_volumes(
     placement: SourcePlacement,
     catchments: Mapping[LinkId, Catchment],
     total_volume: float = 1.0,
-) -> Dict[LinkId, float]:
+) -> LinkVolumeMap:
     """Noiseless per-link spoofed volume under one configuration.
 
     Each source AS's volume lands entirely on the link whose catchment
-    contains it; sources outside every catchment contribute nothing (they
-    have no route to the prefix, e.g. after a withdrawal they may still be
-    covered elsewhere — the caller decides how to treat them).
+    contains it.  Sources outside every catchment (no route to the prefix,
+    e.g. after a withdrawal) deliver nothing to any link; their volume is
+    accounted in the returned map's ``unattributed`` companion value so
+    volume conservation holds — the caller decides how to treat it.
     """
     catchment_of: Dict[ASN, LinkId] = {}
     for link, members in catchments.items():
         for asn in members:
             catchment_of[asn] = link
-    volumes = {link: 0.0 for link in catchments}
+    volumes = LinkVolumeMap({link: 0.0 for link in catchments})
     for asn, volume in placement.volume_by_as(total_volume).items():
         link = catchment_of.get(asn)
         if link is not None:
             volumes[link] += volume
+        else:
+            volumes.unattributed += volume
     return volumes
 
 
@@ -65,7 +99,7 @@ def link_volumes_from_outcome(
     placement: SourcePlacement,
     outcome: RoutingOutcome,
     total_volume: float = 1.0,
-) -> Dict[LinkId, float]:
+) -> LinkVolumeMap:
     """Per-link volumes computed from a routing outcome's catchments."""
     return link_volumes(placement, outcome.catchments, total_volume)
 

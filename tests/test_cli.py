@@ -26,6 +26,26 @@ class TestParser:
     def test_scales_registered(self):
         assert {"small", "medium", "paper"} <= set(SCALES)
 
+    def test_workers_registered_per_subcommand(self):
+        for command in ["figures", "track", "live", "headline", "dataset", "experiments"]:
+            args = build_parser().parse_args([command, "--workers", "3"])
+            assert args.workers == 3
+
+    def test_live_defaults(self):
+        args = build_parser().parse_args(["live"])
+        assert args.distribution == "pareto"
+        assert args.max_configs == 12
+        assert args.churn == []
+        assert not args.in_order
+
+    def test_live_churn_parsing(self):
+        args = build_parser().parse_args(
+            ["live", "--churn", "4:0.3", "--churn", "9:0.5"]
+        )
+        assert args.churn == [(4, 0.3), (9, 0.5)]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["live", "--churn", "bogus"])
+
 
 class TestCommands:
     def test_tables_command(self, capsys):
@@ -43,6 +63,61 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "configurations deployed : 12" in out
         assert "ground-truth source ASes:" in out
+
+    def test_live_command(self, capsys):
+        code = main(
+            [
+                "--seed",
+                "2",
+                "live",
+                "--max-configs",
+                "3",
+                "--sources",
+                "3",
+                "--min-configs",
+                "1",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "live runtime" in out
+        assert "ground-truth source ASes:" in out
+
+    def test_live_checkpoint_then_resume(self, tmp_path, capsys):
+        checkpoint = str(tmp_path / "live.json")
+        base = [
+            "--seed",
+            "2",
+            "live",
+            "--max-configs",
+            "2",
+            "--sources",
+            "2",
+            "--min-configs",
+            "1",
+            "--quiet",
+        ]
+        assert main(base + ["--checkpoint", checkpoint]) == 0
+        first = capsys.readouterr().out
+        assert main(base + ["--resume", checkpoint]) == 0
+        second = capsys.readouterr().out
+        assert "live runtime" in second
+
+        def stable(text):
+            # Drop the engine-stats line: it reports wall-clock seconds.
+            return [
+                line
+                for line in text.splitlines()
+                if not line.startswith("simulation engine")
+            ]
+
+        # The checkpointed run had finished, so the resumed report matches.
+        assert stable(first) == stable(second)
+
+    def test_live_checkpoint_every_needs_path(self, capsys):
+        assert main(["live", "--checkpoint-every", "3"]) == 2
+        assert "--checkpoint" in capsys.readouterr().err
 
     def test_figures_command_single(self, capsys):
         code = main(

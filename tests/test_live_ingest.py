@@ -1,0 +1,173 @@
+"""Tests for the live runtime's events, ingestion queue, and volume window."""
+
+import pytest
+
+from repro.errors import LiveServiceError
+from repro.live import (
+    BoundedIngestQueue,
+    CheckpointRequest,
+    ConfigApplied,
+    DecayingVolumeWindow,
+    PacketBatch,
+    RouteChurn,
+    SimClock,
+)
+from repro.bgp.announcement import anycast_all
+
+
+def batch(volume: float, unattributed: float = 0.0) -> PacketBatch:
+    return PacketBatch(
+        timestamp=0.0, volumes={"l1": volume}, unattributed=unattributed
+    )
+
+
+class TestSimClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = SimClock()
+        assert clock.now == 0.0
+        assert clock.advance(20.0) == 20.0
+        assert clock.now == 20.0
+
+    def test_rejects_negative_advance(self):
+        with pytest.raises(LiveServiceError):
+            SimClock().advance(-1.0)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(LiveServiceError):
+            SimClock(start=-5.0)
+
+
+class TestEvents:
+    def test_batch_volume_accounting(self):
+        event = PacketBatch(
+            timestamp=1.0, volumes={"l1": 2.0, "l2": 3.0}, unattributed=0.5
+        )
+        assert event.attributed_volume == pytest.approx(5.0)
+        assert event.offered_volume == pytest.approx(5.5)
+
+    def test_config_applied_requires_config(self):
+        with pytest.raises(LiveServiceError):
+            ConfigApplied(timestamp=0.0)
+        event = ConfigApplied(
+            timestamp=0.0, config=anycast_all(["l1"]), schedule_index=3
+        )
+        assert event.schedule_index == 3
+
+    def test_route_churn_validates_drift(self):
+        with pytest.raises(LiveServiceError):
+            RouteChurn(timestamp=0.0, drift=1.5)
+        assert RouteChurn(timestamp=0.0, drift=0.3).drift == 0.3
+
+    def test_checkpoint_request_needs_path(self):
+        with pytest.raises(LiveServiceError):
+            CheckpointRequest(timestamp=0.0)
+
+
+class TestBoundedIngestQueue:
+    def test_accepts_below_capacity(self):
+        queue = BoundedIngestQueue(capacity=3)
+        assert all(queue.offer(batch(1.0)) for _ in range(3))
+        assert queue.depth == 3
+        assert queue.stats.dropped_batches == 0
+
+    def test_newest_policy_rejects_incoming(self):
+        queue = BoundedIngestQueue(capacity=2, drop_policy="newest")
+        queue.offer(batch(1.0))
+        queue.offer(batch(2.0))
+        assert not queue.offer(batch(5.0))
+        assert queue.depth == 2
+        assert queue.stats.dropped_batches == 1
+        assert queue.stats.dropped_volume == pytest.approx(5.0)
+        # The survivors are the two oldest batches.
+        drained = queue.drain()
+        assert [b.volumes["l1"] for b in drained] == [1.0, 2.0]
+
+    def test_oldest_policy_evicts_head(self):
+        queue = BoundedIngestQueue(capacity=2, drop_policy="oldest")
+        queue.offer(batch(1.0))
+        queue.offer(batch(2.0))
+        assert not queue.offer(batch(5.0))
+        drained = queue.drain()
+        assert [b.volumes["l1"] for b in drained] == [2.0, 5.0]
+        assert queue.stats.dropped_volume == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("policy", ["newest", "oldest"])
+    def test_volume_conservation_under_overload(self, policy):
+        queue = BoundedIngestQueue(capacity=4, drop_policy=policy)
+        offered = 0.0
+        for step in range(20):
+            volume = float(step + 1)
+            queue.offer(batch(volume, unattributed=0.25))
+            offered += volume + 0.25
+        stats = queue.stats
+        assert stats.offered_batches == 20
+        assert stats.offered_volume == pytest.approx(offered)
+        assert stats.accepted_volume + stats.dropped_volume == pytest.approx(
+            offered
+        )
+        assert stats.accepted_batches + stats.dropped_batches == 20
+        # What is still drainable is exactly the accepted volume.
+        drained = queue.drain()
+        assert sum(b.offered_volume for b in drained) == pytest.approx(
+            stats.accepted_volume
+        )
+
+    def test_drain_respects_limit(self):
+        queue = BoundedIngestQueue(capacity=8)
+        for _ in range(5):
+            queue.offer(batch(1.0))
+        assert len(queue.drain(max_batches=2)) == 2
+        assert queue.depth == 3
+        with pytest.raises(LiveServiceError):
+            queue.drain(max_batches=-1)
+
+    def test_max_depth_tracked(self):
+        queue = BoundedIngestQueue(capacity=8)
+        for _ in range(5):
+            queue.offer(batch(1.0))
+        queue.drain()
+        assert queue.stats.max_queue_depth == 5
+
+    def test_restore_round_trip(self):
+        queue = BoundedIngestQueue(capacity=4)
+        queue.offer(batch(1.0))
+        queue.offer(batch(2.0))
+        pending = queue.pending()
+        fresh = BoundedIngestQueue(capacity=4)
+        fresh.restore(pending)
+        assert [b.volumes["l1"] for b in fresh.drain()] == [1.0, 2.0]
+        with pytest.raises(LiveServiceError):
+            BoundedIngestQueue(capacity=1).restore(pending)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(LiveServiceError):
+            BoundedIngestQueue(capacity=0)
+        with pytest.raises(LiveServiceError):
+            BoundedIngestQueue(drop_policy="random")
+
+
+class TestDecayingVolumeWindow:
+    def test_decays_by_half_after_half_life(self):
+        window = DecayingVolumeWindow(half_life_ticks=2.0)
+        window.push({"l1": 8.0})
+        window.push({})
+        window.push({})
+        assert window.snapshot()["l1"] == pytest.approx(4.0)
+
+    def test_concentration(self):
+        window = DecayingVolumeWindow()
+        assert window.concentration() == 0.0
+        window.push({"l1": 3.0, "l2": 1.0})
+        assert window.concentration() == pytest.approx(0.75)
+
+    def test_restore_round_trip(self):
+        window = DecayingVolumeWindow(half_life_ticks=3.0)
+        window.push({"l1": 2.0, "l2": 5.0})
+        fresh = DecayingVolumeWindow(half_life_ticks=3.0)
+        fresh.restore(window.snapshot())
+        assert fresh.snapshot() == window.snapshot()
+        assert fresh.total() == pytest.approx(window.total())
+
+    def test_rejects_bad_half_life(self):
+        with pytest.raises(LiveServiceError):
+            DecayingVolumeWindow(half_life_ticks=0.0)

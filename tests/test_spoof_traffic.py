@@ -7,6 +7,7 @@ import pytest
 from repro.bgp.announcement import anycast_all
 from repro.spoof.sources import SourcePlacement
 from repro.spoof.traffic import (
+    LinkVolumeMap,
     SpoofedTrafficGenerator,
     link_volumes,
     link_volumes_from_outcome,
@@ -36,6 +37,33 @@ class TestLinkVolumes:
         placement = SourcePlacement({1: 1})
         volumes = link_volumes(placement, CATCHMENTS)
         assert set(volumes) == {"l1", "l2"}
+
+    def test_unrouted_volume_lands_in_unattributed(self):
+        placement = SourcePlacement({99: 5, 1: 5})
+        volumes = link_volumes(placement, CATCHMENTS, total_volume=2.0)
+        assert volumes.unattributed == pytest.approx(1.0)
+        assert volumes.attributed == pytest.approx(1.0)
+
+    def test_volume_conservation(self):
+        placement = SourcePlacement({1: 2, 4: 3, 99: 5})
+        total = 7.5
+        volumes = link_volumes(placement, CATCHMENTS, total_volume=total)
+        assert volumes.offered == pytest.approx(total)
+        assert sum(volumes.values()) + volumes.unattributed == pytest.approx(total)
+
+    def test_fully_attributed_map_has_zero_unattributed(self):
+        placement = SourcePlacement({1: 1, 4: 1})
+        volumes = link_volumes(placement, CATCHMENTS)
+        assert volumes.unattributed == 0.0
+        assert volumes.offered == pytest.approx(1.0)
+
+    def test_map_still_behaves_like_dict(self):
+        placement = SourcePlacement({1: 1, 99: 1})
+        volumes = link_volumes(placement, CATCHMENTS)
+        assert isinstance(volumes, dict)
+        assert isinstance(volumes, LinkVolumeMap)
+        assert volumes["l1"] == pytest.approx(0.5)
+        assert dict(volumes) == {"l1": 0.5, "l2": 0.0}
 
     def test_from_outcome_matches_catchments(self, mini_simulator):
         from tests.conftest import A, B
