@@ -8,6 +8,8 @@ Subcommands:
   attack and print the report.
 * ``live`` — replay a synthetic attack through the online traceback
   service (``repro.live``) with rolling per-window attribution.
+* ``chaos`` — sweep a fault plan across intensities and print an
+  accuracy-vs-fault-rate table (``repro.faults``).
 * ``experiments`` — regenerate the EXPERIMENTS.md body from a fresh run.
 """
 
@@ -23,6 +25,8 @@ from .analysis.figures import FIGURE_RUNNERS, EvaluationRun
 from .analysis.report import figure_markdown, render_figure
 from .analysis.tables import table1, table2
 from .core.pipeline import SpoofTracker, TestbedSpec, build_testbed
+from .errors import FaultInjectionError
+from .faults import BUNDLED_PLANS, FaultInjector, load_fault_plan
 from .spoof.sources import PLACEMENT_DISTRIBUTIONS, make_placement
 from .topology.generator import TopologyParams
 
@@ -83,9 +87,19 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_injector(args: argparse.Namespace):
+    """Build a :class:`FaultInjector` from ``--fault-plan`` (or None)."""
+    source = getattr(args, "fault_plan", None)
+    if not source:
+        return None
+    return FaultInjector(load_fault_plan(source))
+
+
 def _cmd_track(args: argparse.Namespace) -> int:
     testbed = build_testbed(seed=args.seed, topology_params=SCALES[args.scale])
-    tracker = SpoofTracker(testbed, workers=args.workers)
+    tracker = SpoofTracker(
+        testbed, workers=args.workers, injector=_make_injector(args)
+    )
     rng = random.Random(args.seed + 1)
     candidate_ases = sorted(testbed.topology.stubs or testbed.graph.ases)
     placement = make_placement(
@@ -192,7 +206,10 @@ def _cmd_live(args: argparse.Namespace) -> int:
         params = replace(SCALES[args.scale], seed=args.seed)
         spec = TestbedSpec(seed=args.seed, topology_params=params)
         service = LiveTracebackService(
-            scenario=scenario, spec=spec, workers=args.workers
+            scenario=scenario,
+            spec=spec,
+            workers=args.workers,
+            injector=_make_injector(args),
         )
     on_window = None
     if not args.quiet:
@@ -214,6 +231,71 @@ def _cmd_live(args: argparse.Namespace) -> int:
         str(asn) for asn in sorted(report.placement.spoofing_ases)
     )
     print(f"ground-truth source ASes: {true_sources}")
+    return 0
+
+
+def _parse_levels(text: str) -> List[float]:
+    """Parse the ``chaos`` sweep's comma-separated intensity levels."""
+    try:
+        levels = [float(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"levels {text!r} are not comma-separated numbers"
+        )
+    if not levels or any(level < 0 for level in levels):
+        raise argparse.ArgumentTypeError("need non-negative levels")
+    return levels
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    base_plan = load_fault_plan(args.plan)
+    testbed = build_testbed(seed=args.seed, topology_params=SCALES[args.scale])
+    rng = random.Random(args.seed + 1)
+    candidate_ases = sorted(testbed.topology.stubs or testbed.graph.ases)
+    placement = make_placement(
+        args.distribution, candidate_ases, args.sources, rng
+    )
+    print(
+        f"# chaos sweep: plan {base_plan.name!r} at levels "
+        f"{', '.join(f'{level:g}' for level in args.levels)}",
+        file=sys.stderr,
+    )
+    header = (
+        f"{'level':>6} {'faults':>7} {'retries':>8} {'degraded':>9} "
+        f"{'clusters':>9} {'mean':>6} {'recall':>7} {'precision':>10} "
+        f"{'violations':>11}"
+    )
+    print(header)
+    print("-" * len(header))
+    worst_violations = 0
+    for level in args.levels:
+        injector = FaultInjector(base_plan.scaled(level))
+        tracker = SpoofTracker(
+            testbed, workers=args.workers, injector=injector
+        )
+        try:
+            report = tracker.run(
+                max_configs=args.max_configs,
+                placement=placement,
+                measured=args.measured,
+            )
+        finally:
+            tracker.engine.close()
+        resilience = report.resilience
+        assert resilience is not None
+        quality = report.localization.evaluate_against(placement)
+        worst_violations = max(worst_violations, len(resilience.violations))
+        print(
+            f"{level:>6g} {resilience.total_faults:>7d} "
+            f"{resilience.retries:>8d} {resilience.degraded_configs:>9d} "
+            f"{len(report.clusters):>9d} {report.mean_cluster_size:>6.2f} "
+            f"{quality.recall:>7.0%} {quality.precision:>10.0%} "
+            f"{len(resilience.violations):>11d}"
+        )
+    if worst_violations:
+        print(f"\n{worst_violations} invariant violations — see above")
+        return 1
+    print("\nall invariants held at every fault level")
     return 0
 
 
@@ -271,6 +353,17 @@ def build_parser() -> argparse.ArgumentParser:
             help="use the full measurement pipeline instead of ground truth",
         )
 
+    def add_fault_plan(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--fault-plan",
+            default=None,
+            metavar="NAME|PATH",
+            help=(
+                "inject faults from a bundled plan "
+                f"({', '.join(sorted(BUNDLED_PLANS))}) or a JSON plan file"
+            ),
+        )
+
     figures = subparsers.add_parser("figures", help="reproduce paper figures")
     figures.add_argument("ids", nargs="*", help="figure ids (default: all)")
     figures.add_argument(
@@ -297,6 +390,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the §V-B large-cluster splitter on clusters above this size",
     )
     add_run_options(track)
+    add_fault_plan(track)
     track.set_defaults(func=_cmd_track)
 
     live = subparsers.add_parser(
@@ -399,7 +493,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppress rolling per-window progress on stderr",
     )
     add_workers(live)
+    add_fault_plan(live)
     live.set_defaults(func=_cmd_live)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="sweep a fault plan across intensities (accuracy vs fault rate)",
+    )
+    chaos.add_argument(
+        "--plan",
+        default="mixed",
+        metavar="NAME|PATH",
+        help=(
+            "fault plan to sweep: bundled "
+            f"({', '.join(sorted(BUNDLED_PLANS))}) or a JSON plan file"
+        ),
+    )
+    chaos.add_argument(
+        "--levels",
+        type=_parse_levels,
+        default=[0.0, 0.25, 0.5, 1.0],
+        help="comma-separated rate multipliers (default 0,0.25,0.5,1.0)",
+    )
+    chaos.add_argument(
+        "--distribution",
+        choices=PLACEMENT_DISTRIBUTIONS,
+        default="single",
+        help="spoofing-source placement",
+    )
+    chaos.add_argument("--sources", type=int, default=1, help="number of sources")
+    add_run_options(chaos)
+    chaos.set_defaults(func=_cmd_chaos)
 
     headline = subparsers.add_parser(
         "headline", help="paper-vs-reproduction headline metrics"
@@ -436,7 +560,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the ``spooftrack`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except FaultInjectionError as exc:
+        print(f"fault plan error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -68,11 +68,23 @@ class ClusterState:
         return splits
 
     def refine_with_catchments(
-        self, catchments: Mapping[LinkId, Iterable[ASN]]
+        self,
+        catchments: Mapping[LinkId, Iterable[ASN]],
+        degraded_links: Iterable[LinkId] = (),
     ) -> int:
-        """Refine against every catchment of one configuration."""
+        """Refine against every catchment of one configuration.
+
+        Links listed in ``degraded_links`` are *skipped*: their
+        catchments are known to be partial (measurement loss), and a
+        partial catchment would split off sources that merely went
+        unmeasured.  Skipping degrades gracefully — clusters stay wider
+        than they could be, but never become wrong.
+        """
+        skip = frozenset(degraded_links)
         splits = 0
         for link in sorted(catchments):
+            if link in skip:
+                continue
             splits += self.refine(catchments[link])
         return splits
 

@@ -50,7 +50,9 @@ from typing import (
 
 from ..bgp.announcement import AnnouncementConfig
 from ..bgp.simulator import RoutingOutcome, RoutingSimulator
-from ..errors import SimulationError
+from ..errors import InjectedFault, SimulationError
+from ..faults.injection import FaultAction, FaultInjector
+from ..faults.resilience import CircuitBreaker, RetryPolicy
 
 #: Default bound on memoized outcomes.  An outcome holds one route per
 #: covered AS, so the default comfortably fits the paper's 705-config
@@ -79,6 +81,14 @@ class EngineStats:
             would have cost cold.
         wall_time: seconds spent inside :meth:`SimulationEngine.simulate`
             / :meth:`SimulationEngine.simulate_many`.
+        worker_failures: pool tasks that died or timed out (injected or
+            real); each triggers a pool teardown and a serial re-run of
+            the outstanding work.
+        retries: serial attempts re-run after an injected fault.
+        faults_bypassed: tasks whose injected fault outlived the retry
+            budget and ran with injection suppressed.
+        pool_rebuilds: worker pools torn down after a failure (a fresh
+            pool is built lazily on the next parallel batch).
     """
 
     configs_requested: int = 0
@@ -87,6 +97,10 @@ class EngineStats:
     warm_starts: int = 0
     passes_saved: int = 0
     wall_time: float = 0.0
+    worker_failures: int = 0
+    retries: int = 0
+    faults_bypassed: int = 0
+    pool_rebuilds: int = 0
 
     def copy(self) -> "EngineStats":
         """Independent snapshot of the current counters."""
@@ -97,6 +111,10 @@ class EngineStats:
             warm_starts=self.warm_starts,
             passes_saved=self.passes_saved,
             wall_time=self.wall_time,
+            worker_failures=self.worker_failures,
+            retries=self.retries,
+            faults_bypassed=self.faults_bypassed,
+            pool_rebuilds=self.pool_rebuilds,
         )
 
     def since(self, before: "EngineStats") -> "EngineStats":
@@ -108,11 +126,15 @@ class EngineStats:
             warm_starts=self.warm_starts - before.warm_starts,
             passes_saved=self.passes_saved - before.passes_saved,
             wall_time=self.wall_time - before.wall_time,
+            worker_failures=self.worker_failures - before.worker_failures,
+            retries=self.retries - before.retries,
+            faults_bypassed=self.faults_bypassed - before.faults_bypassed,
+            pool_rebuilds=self.pool_rebuilds - before.pool_rebuilds,
         )
 
     def summary(self) -> str:
         """One-line human-readable rendering."""
-        return (
+        text = (
             f"{self.configs_simulated} simulated / "
             f"{self.configs_requested} requested, "
             f"{self.cache_hits} cache hits, "
@@ -120,6 +142,13 @@ class EngineStats:
             f"(~{self.passes_saved} passes saved), "
             f"{self.wall_time:.2f}s"
         )
+        if self.worker_failures or self.retries or self.faults_bypassed:
+            text += (
+                f", {self.worker_failures} worker failures / "
+                f"{self.retries} retries / "
+                f"{self.faults_bypassed} bypassed"
+            )
+        return text
 
 
 # ----------------------------------------------------------------------
@@ -212,17 +241,23 @@ def _init_worker(payload, warm_start: bool) -> None:
 
 
 def _worker_simulate(
-    item: Tuple[int, AnnouncementConfig]
+    item: Tuple[int, AnnouncementConfig, Optional[FaultAction]]
 ) -> Tuple[int, RoutingOutcome, int, int, int]:
     """Pool task: simulate one configuration in a worker process.
 
     Warm-start parents are resolved against a worker-local cache (they
     recur across a schedule's prepend/poison phases, so each worker pays
-    for each parent at most once).
+    for each parent at most once).  A :class:`FaultAction` decided by the
+    main process (chaos runs) executes *here*, at the site — raising an
+    :class:`~repro.errors.InjectedFault` or stalling the task — so the
+    engine's containment path is exercised exactly as a real worker
+    failure would exercise it.
     """
     assert _WORKER_STATE is not None, "worker initializer did not run"
     simulator, warm_start, parent_cache = _WORKER_STATE
-    index, config = item
+    index, config, action = item
+    if action is not None:
+        action.execute()
     outcome, fixpoints, warms, saved = _simulate_resolved(
         simulator,
         config,
@@ -254,6 +289,14 @@ class SimulationEngine:
         warm_start: seed fixpoints from parent outcomes (see
             :func:`warm_start_parent`).
         cache_size: bound on memoized outcomes (LRU eviction).
+        injector: optional chaos hook
+            (:class:`~repro.faults.injection.FaultInjector`); None (the
+            default) leaves the hot path untouched.
+        retry_policy: containment knobs — per-task timeout on the pool,
+            bounded serial retries with deterministic exponential backoff
+            for injected faults.
+        breaker_threshold: consecutive pool failures after which the
+            circuit opens and the engine stays serial.
 
     The engine is safe to share across every consumer of one testbed —
     sharing is the point: the splitter's baseline is the schedule's
@@ -261,6 +304,13 @@ class SimulationEngine:
     manager; :meth:`close` tears down the worker pool (a pool is only
     created once :meth:`simulate_many` actually runs with ``workers >
     1``).
+
+    **Failure containment**: a worker that raises or times out no longer
+    aborts the batch.  The broken pool is torn down, the failure is
+    recorded in :class:`EngineStats`, and the outstanding work re-runs
+    serially in-process (bit-identical results — simulation is a pure
+    function of ``(simulator, config)``).  After ``breaker_threshold``
+    broken pools the circuit opens and fan-out is abandoned for good.
     """
 
     def __init__(
@@ -270,6 +320,9 @@ class SimulationEngine:
         spec=None,
         warm_start: bool = True,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        injector: Optional[FaultInjector] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker_threshold: int = 2,
     ) -> None:
         if workers < 1:
             raise SimulationError("workers must be at least 1")
@@ -280,8 +333,12 @@ class SimulationEngine:
         self.spec = spec
         self.warm_start = warm_start
         self.cache_size = cache_size
+        self.injector = injector
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.breaker = CircuitBreaker(breaker_threshold)
         self.stats = EngineStats()
         self._cache: "OrderedDict[ConfigKey, RoutingOutcome]" = OrderedDict()
+        self._fault_ordinals: Dict[ConfigKey, int] = {}
         self._pool = None
 
     # -- cache ----------------------------------------------------------
@@ -391,25 +448,119 @@ class SimulationEngine:
             misses.append((key, config))
 
         results = None
-        if misses:
+        if misses and not self.breaker.open:
             pool = self._ensure_pool()
-            tasks = [(i, config) for i, (_, config) in enumerate(misses)]
+            tasks = [
+                (i, config, self._action_for(key))
+                for i, (key, config) in enumerate(misses)
+            ]
             results = pool.imap_unordered(_worker_simulate, tasks)
+        miss_configs = dict(misses)
         self.stats.wall_time += time.perf_counter() - start
 
         for key in keys:
             while key not in by_key:
-                assert results is not None, "missing result for uncached config"
                 wait_start = time.perf_counter()
-                index, outcome, fixpoints, warms, saved = next(results)
-                self.stats.wall_time += time.perf_counter() - wait_start
-                self.stats.configs_simulated += fixpoints
-                self.stats.warm_starts += warms
-                self.stats.passes_saved += saved
-                miss_key = misses[index][0]
-                self._cache_put(miss_key, outcome)
-                by_key[miss_key] = outcome
+                if results is not None:
+                    try:
+                        index, outcome, fixpoints, warms, saved = (
+                            self._next_result(results)
+                        )
+                    except Exception:
+                        # Broken pool mid-stream: drop it and finish the
+                        # outstanding misses serially (identical results).
+                        self._handle_pool_failure()
+                        results = None
+                        self.stats.wall_time += (
+                            time.perf_counter() - wait_start
+                        )
+                        continue
+                    self.stats.wall_time += time.perf_counter() - wait_start
+                    self.stats.configs_simulated += fixpoints
+                    self.stats.warm_starts += warms
+                    self.stats.passes_saved += saved
+                    miss_key = misses[index][0]
+                    self._cache_put(miss_key, outcome)
+                    by_key[miss_key] = outcome
+                else:
+                    already = self._cache_get(key)
+                    if already is not None:
+                        # Simulated en passant as a warm-start parent.
+                        by_key[key] = already
+                        self.stats.wall_time += (
+                            time.perf_counter() - wait_start
+                        )
+                        continue
+                    outcome, fixpoints, warms, saved = (
+                        self._simulate_resilient(key, miss_configs[key])
+                    )
+                    self.stats.wall_time += time.perf_counter() - wait_start
+                    self.stats.configs_simulated += fixpoints
+                    self.stats.warm_starts += warms
+                    self.stats.passes_saved += saved
+                    self._cache_put(key, outcome)
+                    by_key[key] = outcome
             yield by_key[key]
+
+    def _fault_ordinal(self, key: ConfigKey) -> int:
+        """Stable per-engine ordinal of a distinct simulation (chaos
+        windows count "the Nth new configuration this engine saw")."""
+        ordinal = self._fault_ordinals.get(key)
+        if ordinal is None:
+            ordinal = len(self._fault_ordinals)
+            self._fault_ordinals[key] = ordinal
+        return ordinal
+
+    def _action_for(
+        self, key: ConfigKey, attempt: int = 0
+    ) -> Optional[FaultAction]:
+        """Chaos decision for one task (None without an injector)."""
+        if self.injector is None:
+            return None
+        return self.injector.simulation_action(
+            self._fault_ordinal(key), str(key), attempt
+        )
+
+    def _simulate_resilient(
+        self, key: ConfigKey, config: AnnouncementConfig
+    ) -> Tuple[RoutingOutcome, int, int, int]:
+        """Simulate in-process, containing injected faults by retrying.
+
+        Injected crashes are retried up to ``retry_policy.max_retries``
+        times with deterministic exponential backoff (each attempt
+        re-draws the fault decision, so sub-certain crash rates clear);
+        a fault that survives the whole budget runs once more with
+        injection suppressed — progress is guaranteed.  Real simulator
+        exceptions propagate: they are bugs, not chaos.
+        """
+        attempt = 0
+        while True:
+            action = self._action_for(key, attempt)
+            try:
+                if action is not None:
+                    action.execute()
+                return _simulate_resolved(
+                    self.simulator,
+                    config,
+                    self.warm_start,
+                    self._cache_get,
+                    self._record_parent,
+                )
+            except InjectedFault:
+                if attempt >= self.retry_policy.max_retries:
+                    self.stats.faults_bypassed += 1
+                    assert self.injector is not None
+                    with self.injector.suppressed():
+                        return _simulate_resolved(
+                            self.simulator,
+                            config,
+                            self.warm_start,
+                            self._cache_get,
+                            self._record_parent,
+                        )
+                self.stats.retries += 1
+                self.retry_policy.sleep_before(attempt)
+                attempt += 1
 
     def _run_serial(
         self,
@@ -423,12 +574,8 @@ class SimulationEngine:
                 # earlier miss in this batch.
                 by_key[key] = already
                 continue
-            outcome, fixpoints, warms, saved = _simulate_resolved(
-                self.simulator,
-                config,
-                self.warm_start,
-                self._cache_get,
-                self._record_parent,
+            outcome, fixpoints, warms, saved = self._simulate_resilient(
+                key, config
             )
             self.stats.configs_simulated += fixpoints
             self.stats.warm_starts += warms
@@ -441,23 +588,58 @@ class SimulationEngine:
         # them so the schedule (which usually contains them) hits.
         self._cache_put(key, outcome)
 
+    def _next_result(self, results):
+        """One pool result, honoring the per-task timeout when set."""
+        timeout = self.retry_policy.task_timeout
+        if timeout is None:
+            return next(results)
+        return results.next(timeout)
+
+    def _handle_pool_failure(self) -> None:
+        """Account a broken pool and tear it down (rebuilt lazily)."""
+        self.stats.worker_failures += 1
+        self.stats.pool_rebuilds += 1
+        self.breaker.record_failure()
+        self._discard_pool()
+
     def _run_parallel(
         self,
         misses: List[Tuple[ConfigKey, AnnouncementConfig]],
         by_key: Dict[ConfigKey, RoutingOutcome],
     ) -> None:
+        if self.breaker.open:
+            self._run_serial(misses, by_key)
+            return
         pool = self._ensure_pool()
         chunksize = max(1, len(misses) // (self.workers * 4))
-        tasks = [(i, config) for i, (_, config) in enumerate(misses)]
-        for index, outcome, fixpoints, warms, saved in pool.imap_unordered(
-            _worker_simulate, tasks, chunksize=chunksize
-        ):
-            self.stats.configs_simulated += fixpoints
-            self.stats.warm_starts += warms
-            self.stats.passes_saved += saved
-            key = misses[index][0]
-            self._cache_put(key, outcome)
-            by_key[key] = outcome
+        tasks = [
+            (i, config, self._action_for(key))
+            for i, (key, config) in enumerate(misses)
+        ]
+        results = pool.imap_unordered(_worker_simulate, tasks, chunksize=chunksize)
+        try:
+            for _ in range(len(tasks)):
+                index, outcome, fixpoints, warms, saved = self._next_result(
+                    results
+                )
+                self.stats.configs_simulated += fixpoints
+                self.stats.warm_starts += warms
+                self.stats.passes_saved += saved
+                key = misses[index][0]
+                self._cache_put(key, outcome)
+                by_key[key] = outcome
+        except Exception:
+            # A worker died, raised, or timed out (injected or real).
+            # The pool may hold poisoned or hung workers: replace it and
+            # finish the outstanding work serially — results identical,
+            # only slower.
+            self._handle_pool_failure()
+            remaining = [
+                (key, config) for key, config in misses if key not in by_key
+            ]
+            self._run_serial(remaining, by_key)
+        else:
+            self.breaker.record_success()
 
     # -- pool lifecycle -------------------------------------------------
 
@@ -473,12 +655,16 @@ class SimulationEngine:
             )
         return self._pool
 
-    def close(self) -> None:
-        """Tear down the worker pool (the cache survives)."""
+    def _discard_pool(self) -> None:
+        """Terminate the current pool; a fresh one is built lazily."""
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
+
+    def close(self) -> None:
+        """Tear down the worker pool (the cache survives)."""
+        self._discard_pool()
 
     def __enter__(self) -> "SimulationEngine":
         return self

@@ -20,6 +20,10 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from ..live.service import LiveRunStats
     from .refinement import SplitReport
 
+from ..faults.health import InvariantMonitor, ResilienceReport, build_resilience_report
+from ..faults.injection import FaultInjector
+from ..faults.resilience import RetryPolicy
+
 from ..bgp.announcement import AnnouncementConfig
 from ..bgp.policy import PolicyModel
 from ..bgp.simulator import RoutingOutcome, RoutingSimulator
@@ -232,6 +236,8 @@ class TrackerReport:
         live_stats: online-runtime counters when the report came from a
             :class:`~repro.live.service.LiveTracebackService` replay
             (windows observed, dropped volume, dwell, stop reason).
+        resilience: chaos accounting and invariant-check outcomes when
+            the run carried a fault injector.
     """
 
     universe: FrozenSet[ASN]
@@ -244,6 +250,7 @@ class TrackerReport:
     split_report: Optional["SplitReport"] = None
     engine_stats: Optional[EngineStats] = None
     live_stats: Optional["LiveRunStats"] = None
+    resilience: Optional["ResilienceReport"] = None
 
     @property
     def mean_cluster_size(self) -> float:
@@ -270,6 +277,8 @@ class TrackerReport:
             lines.append(f"simulation engine       : {self.engine_stats.summary()}")
         if self.live_stats is not None:
             lines.append(f"live runtime            : {self.live_stats.summary()}")
+        if self.resilience is not None:
+            lines.append(f"resilience              : {self.resilience.summary()}")
         if self.localization is not None:
             top = self.localization.top(3)
             lines.append("most-suspect clusters   :")
@@ -303,6 +312,11 @@ class SpoofTracker:
             ``workers`` shorthand) to fan simulations out over processes.
         workers: shorthand for building the default engine with this many
             worker processes (ignored when ``engine`` is given).
+        injector: optional :class:`~repro.faults.injection.FaultInjector`
+            driving a chaos run; threaded into the engine, the
+            measurement campaign, and the ground-truth catchments.
+        retry_policy: containment knobs for the default engine (ignored
+            when ``engine`` is given).
     """
 
     def __init__(
@@ -311,6 +325,8 @@ class SpoofTracker:
         schedule_params: Optional[ScheduleParams] = None,
         engine: Optional[SimulationEngine] = None,
         workers: int = 1,
+        injector: Optional[FaultInjector] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.testbed = testbed
         self.schedule_params = schedule_params or ScheduleParams()
@@ -318,7 +334,14 @@ class SpoofTracker:
             testbed.origin, testbed.graph, self.schedule_params
         )
         self.engine = engine or SimulationEngine(
-            testbed.simulator, workers=workers, spec=testbed.spec
+            testbed.simulator,
+            workers=workers,
+            spec=testbed.spec,
+            injector=injector,
+            retry_policy=retry_policy,
+        )
+        self.injector = (
+            injector if injector is not None else self.engine.injector
         )
 
     @classmethod
@@ -360,31 +383,50 @@ class SpoofTracker:
             raise ReproError("empty schedule")
 
         origin = self.testbed.origin
+        injector = self.injector
         stats_before = self.engine.stats.copy()
         outcomes: List[RoutingOutcome] = self.engine.simulate_many(configs)
 
+        # Per-step sets of links whose catchments are partial (injected
+        # measurement loss); refinement skips them, localization drops
+        # the whole step.
+        degraded_by_step: List[FrozenSet[LinkId]] = []
         if measured:
-            first = self.testbed.campaign.measure(outcomes[0])
+            first = self.testbed.campaign.measure(
+                outcomes[0], fault_token=0, injector=injector
+            )
             universe = frozenset(first.assignment)
             history = CatchmentHistory(universe)
             history.add(first.assignment)
-            for outcome in outcomes[1:]:
-                history.add(self.testbed.campaign.measure(outcome).assignment)
+            for index, outcome in enumerate(outcomes[1:], start=1):
+                history.add(
+                    self.testbed.campaign.measure(
+                        outcome, fault_token=index, injector=injector
+                    ).assignment
+                )
             catchment_history = history.catchment_maps(origin.link_ids)
+            degraded_by_step = [frozenset() for _ in catchment_history]
         else:
             universe = outcomes[0].covered_ases
-            catchment_history = [
-                {
+            catchment_history = []
+            for index, outcome in enumerate(outcomes):
+                maps = {
                     link: frozenset(members & universe)
                     for link, members in outcome.catchments.items()
                 }
-                for outcome in outcomes
-            ]
+                if injector is not None:
+                    maps, degraded = injector.degrade_catchments(index, maps)
+                else:
+                    degraded = frozenset()
+                catchment_history.append(maps)
+                degraded_by_step.append(degraded)
 
         state = ClusterState(universe)
         steps: List[StepStats] = []
-        for config, catchments in zip(configs, catchment_history):
-            state.refine_with_catchments(catchments)
+        for (config, catchments), degraded in zip(
+            zip(configs, catchment_history), degraded_by_step
+        ):
+            state.refine_with_catchments(catchments, degraded_links=degraded)
             steps.append(
                 StepStats(
                     config_label=config.label or config.describe(),
@@ -420,6 +462,7 @@ class SpoofTracker:
                         for link, members in extra.items()
                     }
                 )
+                degraded_by_step.append(frozenset())
                 steps.append(
                     StepStats(
                         config_label=config.label or config.describe(),
@@ -430,6 +473,8 @@ class SpoofTracker:
                     )
                 )
         clusters = state.clusters()
+
+        monitor = InvariantMonitor() if injector is not None else None
 
         localization = None
         if placement is not None:
@@ -442,8 +487,41 @@ class SpoofTracker:
                     link_volumes(placement, extra)
                     for extra in split_report.catchment_history
                 )
-            localizer = SpoofLocalizer(clusters, catchment_history)
-            localization = localizer.localize(volume_history)
+            if monitor is not None:
+                for volumes in volume_history:
+                    monitor.check_volume_conservation(
+                        volumes.offered, volumes.attributed, volumes.unattributed
+                    )
+            # Degraded steps are lossy evidence: a partial catchment can
+            # straddle final clusters, which the NNLS system rejects, so
+            # those rows are excluded from localization outright.
+            loc_catchments = [
+                maps
+                for maps, degraded in zip(catchment_history, degraded_by_step)
+                if not degraded
+            ]
+            loc_volumes = [
+                volumes
+                for volumes, degraded in zip(volume_history, degraded_by_step)
+                if not degraded
+            ]
+            localizer = SpoofLocalizer(clusters, loc_catchments)
+            localization = localizer.localize(loc_volumes)
+
+        resilience = None
+        if injector is not None:
+            assert monitor is not None
+            monitor.check_partition_coverage(universe, clusters)
+            monitor.check_monotone_refinement(
+                [step.num_clusters for step in steps]
+            )
+            resilience = build_resilience_report(
+                injector,
+                monitor=monitor,
+                engine_stats=self.engine.stats.since(stats_before),
+                degraded_configs=sum(1 for d in degraded_by_step if d),
+                circuit_open=self.engine.breaker.open,
+            )
 
         return TrackerReport(
             universe=universe,
@@ -455,4 +533,5 @@ class SpoofTracker:
             measured=measured,
             split_report=split_report,
             engine_stats=self.engine.stats.since(stats_before),
+            resilience=resilience,
         )

@@ -59,3 +59,21 @@ class DataFormatError(ReproError):
 class LiveServiceError(ReproError):
     """Raised when the online attribution runtime is misused or its
     state (events, checkpoints) is inconsistent."""
+
+
+class CheckpointCorruptionError(LiveServiceError):
+    """Raised when a checkpoint fails its integrity check and no intact
+    fallback (``<path>.bak``) exists to roll back to."""
+
+
+class FaultInjectionError(ReproError):
+    """Raised when a fault plan is malformed or names an unknown fault."""
+
+
+class InjectedFault(FaultInjectionError):
+    """A deliberately injected failure from a :class:`~repro.faults.FaultPlan`.
+
+    Raised at an injection site during chaos runs; the resilience layer
+    is expected to contain it (retry, fall back, degrade) — it escaping
+    to the caller means containment failed.
+    """

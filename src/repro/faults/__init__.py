@@ -1,0 +1,71 @@
+"""Deterministic fault injection and graceful degradation (`repro.faults`).
+
+The paper's method runs on infrastructure where failure is the norm —
+lost traceroutes, collector outages, slow convergence, interrupted
+campaigns.  This package makes failure a first-class, *seeded* input:
+
+* :mod:`~repro.faults.plan` — declarative :class:`FaultPlan` /
+  :class:`FaultSpec` schedules, bit-reproducible by construction.
+* :mod:`~repro.faults.injection` — the :class:`FaultInjector` hooks
+  wired into the engine, measurement campaign, and live runtime.
+* :mod:`~repro.faults.resilience` — the defenses: :class:`RetryPolicy`,
+  :class:`CircuitBreaker`, atomic checksummed writes.
+* :mod:`~repro.faults.health` — the :class:`InvariantMonitor` and the
+  :class:`ResilienceReport` attached to tracker reports.
+"""
+
+from .health import (
+    InvariantMonitor,
+    InvariantViolation,
+    ResilienceReport,
+    build_resilience_report,
+)
+from .injection import FaultAction, FaultInjector, FaultLog
+from .plan import (
+    BUNDLED_PLANS,
+    CHECKPOINT_CORRUPTION,
+    COLLECTOR_FLAP,
+    FAULT_KINDS,
+    MEASUREMENT_LOSS,
+    ROUTE_CHURN,
+    VOLUME_NOISE,
+    WORKER_CRASH,
+    WORKER_HANG,
+    FaultPlan,
+    FaultSpec,
+    load_fault_plan,
+    stable_unit,
+)
+from .resilience import (
+    CircuitBreaker,
+    RetryPolicy,
+    atomic_write_text,
+    content_checksum,
+)
+
+__all__ = [
+    "BUNDLED_PLANS",
+    "CHECKPOINT_CORRUPTION",
+    "COLLECTOR_FLAP",
+    "CircuitBreaker",
+    "FAULT_KINDS",
+    "FaultAction",
+    "FaultInjector",
+    "FaultLog",
+    "FaultPlan",
+    "FaultSpec",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "MEASUREMENT_LOSS",
+    "ROUTE_CHURN",
+    "ResilienceReport",
+    "RetryPolicy",
+    "VOLUME_NOISE",
+    "WORKER_CRASH",
+    "WORKER_HANG",
+    "atomic_write_text",
+    "build_resilience_report",
+    "content_checksum",
+    "load_fault_plan",
+    "stable_unit",
+]

@@ -8,14 +8,24 @@ attributor progress, pending ingest batches with their drop accounting,
 the decaying volume window, and the per-window statistics emitted so far.
 Traffic uses stateless per-window seeding, so no PRNG state is needed:
 a restored run replays the exact windows the killed run would have seen.
+
+**Integrity**: the on-disk document wraps the state payload with a
+SHA-256 content checksum, writes are atomic (tmp file + fsync + rename),
+and the previous checkpoint is rotated to ``<path>.bak`` first.  A torn
+or corrupted write is therefore detected on load and recovery falls back
+to the rotated copy; only when *both* documents are damaged does
+:func:`load_checkpoint` raise
+:class:`~repro.errors.CheckpointCorruptionError`.
 """
 
 from __future__ import annotations
 
 import json
-from typing import TYPE_CHECKING
+import os
+from typing import TYPE_CHECKING, Tuple
 
-from ..errors import LiveServiceError
+from ..errors import CheckpointCorruptionError, LiveServiceError
+from ..faults.resilience import atomic_write_text, content_checksum
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from .service import LiveTracebackService
@@ -24,15 +34,64 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
 CHECKPOINT_VERSION = 1
 
 
+def backup_path(path: str) -> str:
+    """Where :func:`save_checkpoint` rotates the previous checkpoint."""
+    return f"{path}.bak"
+
+
+def _canonical_json(payload) -> str:
+    """The canonical encoding the checksum covers."""
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
 def save_checkpoint(service: "LiveTracebackService", path: str) -> str:
-    """Write the service's full state to ``path`` as JSON; returns the path."""
+    """Write the service's full state to ``path`` as JSON; returns the path.
+
+    The write is atomic, and an existing checkpoint at ``path`` is rotated
+    to ``<path>.bak`` beforehand, so at every instant at least one intact
+    checkpoint exists on disk.
+    """
     payload = service.as_serializable()
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-    return path
+    body = _canonical_json(payload)
+    document = {"checksum": content_checksum(body), "payload": payload}
+    if os.path.exists(path):
+        os.replace(path, backup_path(path))
+    return atomic_write_text(path, _canonical_json(document))
 
 
-def load_checkpoint(path: str, workers: int = 1) -> "LiveTracebackService":
+def _read_payload(path: str) -> Tuple[dict, str]:
+    """Load and verify one checkpoint document.
+
+    Returns ``(payload, "")`` on success or ``({}, reason)`` when the
+    file is unreadable, malformed, or fails its checksum.  Legacy
+    documents (a bare payload without the checksum wrapper) are accepted
+    unverified.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        return {}, f"cannot read checkpoint {path!r}: {exc}"
+    if not isinstance(document, dict):
+        return {}, f"checkpoint {path!r} is not a JSON object"
+    if "checksum" not in document:
+        return document, ""  # legacy bare-payload checkpoint
+    payload = document.get("payload")
+    if not isinstance(payload, dict):
+        return {}, f"checkpoint {path!r} has no payload"
+    expected = document["checksum"]
+    actual = content_checksum(_canonical_json(payload))
+    if actual != expected:
+        return {}, (
+            f"checkpoint {path!r} failed its integrity check "
+            f"(checksum {actual[:12]}… != recorded {str(expected)[:12]}…)"
+        )
+    return payload, ""
+
+
+def load_checkpoint(
+    path: str, workers: int = 1, allow_rollback: bool = True
+) -> "LiveTracebackService":
     """Rebuild a service from a checkpoint written by :func:`save_checkpoint`.
 
     Args:
@@ -40,21 +99,33 @@ def load_checkpoint(path: str, workers: int = 1) -> "LiveTracebackService":
         workers: simulation worker processes for the rebuilt engine (the
             worker count is runtime configuration, not state — results
             are identical either way).
+        allow_rollback: when the primary document is damaged, fall back
+            to the rotated ``<path>.bak`` copy; the restored service has
+            ``restored_via_rollback`` set so callers can account the
+            recovery.
 
     Raises:
-        LiveServiceError: on a malformed or version-mismatched document.
+        CheckpointCorruptionError: when no intact checkpoint document
+            exists at ``path`` (or its backup).
+        LiveServiceError: on a version-mismatched document.
     """
     from .service import LiveTracebackService
 
-    try:
-        with open(path, "r", encoding="utf-8") as handle:
-            payload = json.load(handle)
-    except (OSError, json.JSONDecodeError) as exc:
-        raise LiveServiceError(f"cannot read checkpoint {path!r}: {exc}")
+    payload, reason = _read_payload(path)
+    rolled_back = False
+    if reason and allow_rollback and os.path.exists(backup_path(path)):
+        payload, backup_reason = _read_payload(backup_path(path))
+        if backup_reason:
+            raise CheckpointCorruptionError(f"{reason}; {backup_reason}")
+        rolled_back = True
+    elif reason:
+        raise CheckpointCorruptionError(reason)
     version = payload.get("version")
     if version != CHECKPOINT_VERSION:
         raise LiveServiceError(
             f"checkpoint {path!r} has version {version!r}; "
             f"this build reads version {CHECKPOINT_VERSION}"
         )
-    return LiveTracebackService.from_serializable(payload, workers=workers)
+    service = LiveTracebackService.from_serializable(payload, workers=workers)
+    service.restored_via_rollback = rolled_back
+    return service

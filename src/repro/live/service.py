@@ -40,6 +40,13 @@ from ..core.pipeline import StepStats, Testbed, TestbedSpec, TrackerReport
 from ..core.staleness import churned_policy, misplaced_fraction
 from ..core.timeline import CampaignTimeline
 from ..errors import LiveServiceError
+from ..faults.health import (
+    InvariantMonitor,
+    ResilienceReport,
+    build_resilience_report,
+)
+from ..faults.injection import FaultInjector
+from ..faults.plan import WORKER_CRASH, WORKER_HANG, FaultPlan
 from ..measurement.traceroute import TracerouteParams
 from ..spoof.sources import (
     PLACEMENT_DISTRIBUTIONS,
@@ -232,6 +239,7 @@ class LiveReport:
     localization: Optional[LocalizationResult] = None
     placement: Optional[SourcePlacement] = None
     engine_stats: Optional[EngineStats] = None
+    resilience: Optional[ResilienceReport] = None
 
     def to_tracker_report(self) -> TrackerReport:
         """Project onto the batch pipeline's report type."""
@@ -245,6 +253,7 @@ class LiveReport:
             measured=False,
             engine_stats=self.engine_stats,
             live_stats=self.run_stats,
+            resilience=self.resilience,
         )
 
     def summary(self) -> str:
@@ -263,6 +272,10 @@ class LiveTracebackService:
             checkpointing; defaults to ``spec.build()``).
         workers: simulation worker processes for the pre-measurement.
         timeline: dwell-cost model (defaults to the paper's).
+        injector: optional chaos hook driving volume-noise bursts,
+            route-churn storms, checkpoint corruption, and simulation
+            faults; the fault plan travels inside checkpoints so a
+            resumed chaos run stays on plan.
     """
 
     def __init__(
@@ -272,8 +285,10 @@ class LiveTracebackService:
         testbed: Optional[Testbed] = None,
         workers: int = 1,
         timeline: Optional[CampaignTimeline] = None,
+        injector: Optional[FaultInjector] = None,
     ) -> None:
         self.scenario = scenario or ReplayScenario()
+        self.injector = injector
         if testbed is not None:
             self.testbed = testbed
             self.spec = testbed.spec if spec is None else spec
@@ -289,7 +304,10 @@ class LiveTracebackService:
             schedule = schedule[: self.scenario.max_configs]
         self.schedule = schedule
         self.engine = SimulationEngine(
-            self.testbed.simulator, workers=workers, spec=self.spec
+            self.testbed.simulator,
+            workers=workers,
+            spec=self.spec,
+            injector=injector,
         )
         # Pre-attack measurement: catchments of every scheduled
         # configuration, streamed through the engine in schedule order.
@@ -349,6 +367,9 @@ class LiveTracebackService:
         self._maps_fresh = True
         self._finished = False
         self._engine_baseline = EngineStats()
+        self._checkpoint_ordinal = 0
+        self.checkpoint_corruptions = 0
+        self.restored_via_rollback = False
 
     # ------------------------------------------------------------------
     # Helpers
@@ -456,6 +477,14 @@ class LiveTracebackService:
             self._apply_churn(drift, self._churn_cursor)
             self._churn_cursor += 1
 
+        # Injected churn storms strike on top of the scheduled events.
+        # The ordinal offset keeps their churn seeds disjoint from the
+        # scheduled events' (scenario.seed + 101 + ordinal).
+        if self.injector is not None:
+            storm = self.injector.extra_churn(self.window_index)
+            if storm is not None:
+                self._apply_churn(storm, 10_000 + self.window_index)
+
         # Producer: the attack keeps sending whether or not we keep up.
         for batch_index in range(scenario.batches_per_window):
             self.queue.offer(self._make_batch(index, batch_index))
@@ -511,6 +540,13 @@ class LiveTracebackService:
     def _make_batch(self, index: int, batch_index: int) -> PacketBatch:
         scenario = self.scenario
         truth = self._truth_outcomes[index].catchments
+        # Injected volume-noise bursts scale the whole batch — attributed
+        # and unattributed alike — so conservation survives the noise.
+        noise = 1.0
+        if self.injector is not None:
+            noise = self.injector.volume_noise_factor(
+                self.window_index, batch_index
+            )
         if scenario.packets_per_window > 0:
             per_batch = max(
                 1, scenario.packets_per_window // scenario.batches_per_window
@@ -523,9 +559,15 @@ class LiveTracebackService:
             )
             generator = SpoofedTrafficGenerator(self.placement, truth, rng)
             packets = list(generator.packets(per_batch))
+            packet_volumes = volumes_from_packets(packets)
+            if noise != 1.0:
+                packet_volumes = {
+                    link: volume * noise
+                    for link, volume in packet_volumes.items()
+                }
             return PacketBatch(
                 timestamp=self.clock.now,
-                volumes=volumes_from_packets(packets),
+                volumes=packet_volumes,
                 packets=len(packets),
             )
         volumes = link_volumes(
@@ -535,8 +577,8 @@ class LiveTracebackService:
         )
         return PacketBatch(
             timestamp=self.clock.now,
-            volumes=dict(volumes),
-            unattributed=volumes.unattributed,
+            volumes={link: volume * noise for link, volume in volumes.items()},
+            unattributed=volumes.unattributed * noise,
         )
 
     # ------------------------------------------------------------------
@@ -616,6 +658,32 @@ class LiveTracebackService:
             stop_reason=self.stop_reason or "running",
         )
 
+    def _resilience_report(self) -> Optional[ResilienceReport]:
+        """Chaos accounting + invariant checks (None without an injector)."""
+        if self.injector is None:
+            return None
+        monitor = InvariantMonitor()
+        ingest = self.queue.stats
+        monitor.check_volume_conservation(
+            ingest.offered_volume,
+            ingest.accepted_volume,
+            ingest.dropped_volume,
+        )
+        monitor.check_partition_coverage(
+            self.universe, self.attributor.clusters()
+        )
+        monitor.check_monotone_refinement(
+            [step.num_clusters for step in self.steps]
+        )
+        return build_resilience_report(
+            self.injector,
+            monitor=monitor,
+            engine_stats=self.engine.stats.copy(),
+            checkpoint_corruptions=self.checkpoint_corruptions,
+            checkpoint_rollbacks=1 if self.restored_via_rollback else 0,
+            circuit_open=self.engine.breaker.open,
+        )
+
     def report(self) -> LiveReport:
         """Snapshot everything into a :class:`LiveReport`."""
         return LiveReport(
@@ -632,6 +700,7 @@ class LiveTracebackService:
             localization=self.attributor.attribution(),
             placement=self.placement,
             engine_stats=self.engine.stats.copy(),
+            resilience=self._resilience_report(),
         )
 
     # ------------------------------------------------------------------
@@ -639,11 +708,25 @@ class LiveTracebackService:
     # ------------------------------------------------------------------
 
     def checkpoint(self, path: str) -> str:
-        """Persist full service state to ``path`` (JSON)."""
+        """Persist full service state to ``path`` (JSON).
+
+        Under a fault plan with checkpoint corruption, the freshly
+        written document may be deterministically mangled *after* the
+        save — the rotated ``<path>.bak`` copy stays intact, which is
+        exactly the torn-write scenario the loader's rollback covers.
+        """
         self.event_log.append(
             CheckpointRequest(timestamp=self.clock.now, path=path)
         )
-        return save_checkpoint(self, path)
+        ordinal = self._checkpoint_ordinal
+        self._checkpoint_ordinal += 1
+        result = save_checkpoint(self, path)
+        if self.injector is not None and self.injector.should_corrupt_checkpoint(
+            ordinal
+        ):
+            self.injector.corrupt_file(path, ordinal)
+            self.checkpoint_corruptions += 1
+        return result
 
     def as_serializable(self) -> Dict:
         """JSON-safe dump of everything needed to resume this run."""
@@ -655,6 +738,16 @@ class LiveTracebackService:
             "version": STATE_VERSION,
             "spec": asdict(self.spec),
             "scenario": asdict(self.scenario),
+            "fault_plan": (
+                self.injector.plan.as_serializable()
+                if self.injector is not None
+                else None
+            ),
+            "fault_log": (
+                self.injector.log.as_dict()
+                if self.injector is not None
+                else None
+            ),
             "clock": self.clock.now,
             "controller": self.controller.as_serializable(),
             "attributor": self.attributor.as_serializable(),
@@ -685,6 +778,8 @@ class LiveTracebackService:
                 "steps": [asdict(step) for step in self.steps],
                 "windows": [asdict(stats) for stats in self.window_stats],
                 "churn_log": list(self.churn_log),
+                "checkpoint_ordinal": self._checkpoint_ordinal,
+                "checkpoint_corruptions": self.checkpoint_corruptions,
             },
         }
 
@@ -700,7 +795,26 @@ class LiveTracebackService:
         """
         spec = _spec_from_payload(payload["spec"])
         scenario = _scenario_from_payload(payload["scenario"])
-        service = cls(scenario=scenario, spec=spec, workers=workers)
+        plan_payload = payload.get("fault_plan")
+        injector = (
+            FaultInjector(FaultPlan.from_serializable(plan_payload))
+            if plan_payload is not None
+            else None
+        )
+        if injector is not None:
+            # Cumulative accounting: measurement/live faults fired before
+            # the snapshot stay counted in the resumed run's resilience
+            # report.  Engine faults (crash/hang) are NOT carried over:
+            # the rebuilt engine re-simulates every site with a cold
+            # cache and deterministically re-draws the same decisions,
+            # so carrying them would double-count.
+            for kind, count in (payload.get("fault_log") or {}).items():
+                if kind in (WORKER_CRASH, WORKER_HANG):
+                    continue
+                injector.log.record(str(kind), int(count))
+        service = cls(
+            scenario=scenario, spec=spec, workers=workers, injector=injector
+        )
 
         service.clock = SimClock(payload["clock"])
         service.controller.restore(payload["controller"])
@@ -738,6 +852,12 @@ class LiveTracebackService:
             WindowStats(**stats) for stats in progress["windows"]
         ]
         service.churn_log = list(progress["churn_log"])
+        service._checkpoint_ordinal = int(
+            progress.get("checkpoint_ordinal", 0)
+        )
+        service.checkpoint_corruptions = int(
+            progress.get("checkpoint_corruptions", 0)
+        )
 
         if service._last_churn is not None:
             churn = service._last_churn

@@ -11,10 +11,11 @@ for smax imputation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 from ..bgp.simulator import RoutingOutcome
+from ..faults.injection import FaultInjector
 from ..topology.peering import OriginNetwork
 from ..types import ASN, LinkId
 from .atlas import AtlasProbeFleet
@@ -28,7 +29,7 @@ from .catchment import (
 from .collectors import BGPCollectorSet, link_of_bgp_path
 from .ip2as import IPToASMapper
 from .repair import (
-    as_path_from_traceroute,
+    as_path_with_reason,
     build_bgp_segment_index,
     build_gap_index,
 )
@@ -43,12 +44,21 @@ class ConfigMeasurement:
         stats: conflict-resolution statistics.
         bgp_paths_observed: number of usable BGP feed paths.
         traceroutes_observed: number of usable traceroutes.
+        collectors_flapped: vantage observations lost to injected
+            collector flaps.
+        traceroutes_lost: traceroutes lost in flight (injected
+            measurement loss).
+        traceroutes_dropped: degenerate traceroutes dropped with an
+            explicit reason, counted by reason.
     """
 
     assignment: Dict[ASN, LinkId]
     stats: ResolutionStats
     bgp_paths_observed: int = 0
     traceroutes_observed: int = 0
+    collectors_flapped: int = 0
+    traceroutes_lost: int = 0
+    traceroutes_dropped: Dict[str, int] = field(default_factory=dict)
 
 
 class MeasurementCampaign:
@@ -73,11 +83,31 @@ class MeasurementCampaign:
         self.fleet = fleet
         self.mapper = mapper
 
-    def measure(self, outcome: RoutingOutcome) -> ConfigMeasurement:
-        """Measure one configuration's catchments."""
+    def measure(
+        self,
+        outcome: RoutingOutcome,
+        fault_token: int = 0,
+        injector: Optional[FaultInjector] = None,
+    ) -> ConfigMeasurement:
+        """Measure one configuration's catchments.
+
+        Args:
+            outcome: the routing outcome to observe.
+            fault_token: deterministic identity of this measurement round
+                (typically the configuration's schedule index) — drives
+                the injector's per-round fault decisions.
+            injector: optional chaos hook; collector flaps and traceroute
+                loss fire here, before repair, exactly where production
+                measurements fail.
+        """
         observations: List[CatchmentObservation] = []
 
         bgp_observations = self.collectors.observe(outcome)
+        collectors_flapped = 0
+        if injector is not None:
+            bgp_observations, collectors_flapped = injector.flap_collectors(
+                fault_token, bgp_observations
+            )
         bgp_paths = list(bgp_observations.values())
         usable_bgp = 0
         for vantage, path in bgp_observations.items():
@@ -96,15 +126,24 @@ class MeasurementCampaign:
                 )
 
         traceroutes = self.fleet.all_traceroutes(outcome)
+        traceroutes_lost = 0
+        if injector is not None:
+            traceroutes, traceroutes_lost = injector.drop_traceroutes(
+                fault_token, traceroutes
+            )
         gap_index = build_gap_index(traceroutes)
         bgp_segments = build_bgp_segment_index(bgp_paths)
         usable_traces = 0
+        dropped: Dict[str, int] = {}
         for trace in traceroutes:
             if not trace.reached_target:
                 continue
-            as_path = as_path_from_traceroute(
+            as_path, drop_reason = as_path_with_reason(
                 trace, self.mapper, gap_index, bgp_segments
             )
+            if drop_reason is not None:
+                dropped[drop_reason] = dropped.get(drop_reason, 0) + 1
+                continue
             link = link_of_bgp_path(self.origin, as_path)
             if link is None:
                 continue
@@ -125,4 +164,7 @@ class MeasurementCampaign:
             stats=stats,
             bgp_paths_observed=usable_bgp,
             traceroutes_observed=usable_traces,
+            collectors_flapped=collectors_flapped,
+            traceroutes_lost=traceroutes_lost,
+            traceroutes_dropped=dropped,
         )

@@ -30,6 +30,13 @@ from .traceroute import Traceroute
 #: Marker for hops that are unresponsive or unmapped at the AS level.
 UNKNOWN = None
 
+#: Explicit reasons a traceroute contributes no AS path.  A dropped
+#: traceroute is lossy evidence, not an error: callers account it and
+#: continue with the remaining measurements.
+DROP_EMPTY = "empty"
+DROP_ALL_UNRESPONSIVE = "all-unresponsive"
+DROP_ALL_UNMAPPED = "all-unmapped"
+
 
 def build_gap_index(
     traceroutes: Iterable[Traceroute],
@@ -159,17 +166,25 @@ def resolve_as_gaps(
     return resolved
 
 
-def as_path_from_traceroute(
+def as_path_with_reason(
     trace: Traceroute,
     mapper: IPToASMapper,
     gap_index: Optional[Mapping[Tuple[int, int], Set[Tuple[int, ...]]]] = None,
     bgp_segments: Optional[Mapping[Tuple[ASN, ASN], Set[Tuple[ASN, ...]]]] = None,
-) -> ASPath:
-    """Full pipeline: repaired, gap-resolved, deduplicated AS-level path.
+) -> Tuple[ASPath, Optional[str]]:
+    """Full pipeline, plus an explicit reason when no path survives.
 
-    Remaining UNKNOWN hops are dropped (paper: "we ignore those hops on
-    the AS-level path").  Consecutive duplicates collapse to one AS.
+    Returns ``(path, None)`` on success, or ``((), reason)`` when the
+    traceroute yields no usable AS-level path: :data:`DROP_EMPTY` (no
+    hops at all), :data:`DROP_ALL_UNRESPONSIVE` (every hop timed out),
+    or :data:`DROP_ALL_UNMAPPED` (responsive hops exist, but none maps
+    to an AS after repair).  Degenerate traceroutes are thereby dropped
+    with attribution instead of silently contributing an empty path.
     """
+    if not trace.hops:
+        return (), DROP_EMPTY
+    if all(hop is None for hop in trace.hops):
+        return (), DROP_ALL_UNRESPONSIVE
     if gap_index is not None:
         trace = repair_ip_gaps(trace, gap_index)
     mapped = map_hops_to_ases(trace, mapper)
@@ -180,4 +195,23 @@ def as_path_from_traceroute(
             continue
         if not path or path[-1] != asn:
             path.append(asn)
-    return tuple(path)
+    if not path:
+        return (), DROP_ALL_UNMAPPED
+    return tuple(path), None
+
+
+def as_path_from_traceroute(
+    trace: Traceroute,
+    mapper: IPToASMapper,
+    gap_index: Optional[Mapping[Tuple[int, int], Set[Tuple[int, ...]]]] = None,
+    bgp_segments: Optional[Mapping[Tuple[ASN, ASN], Set[Tuple[ASN, ...]]]] = None,
+) -> ASPath:
+    """Full pipeline: repaired, gap-resolved, deduplicated AS-level path.
+
+    Remaining UNKNOWN hops are dropped (paper: "we ignore those hops on
+    the AS-level path").  Consecutive duplicates collapse to one AS.
+    Degenerate traceroutes yield ``()``; use :func:`as_path_with_reason`
+    to learn why.
+    """
+    path, _ = as_path_with_reason(trace, mapper, gap_index, bgp_segments)
+    return path

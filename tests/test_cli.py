@@ -149,3 +149,68 @@ class TestCommands:
         text = output.read_text()
         assert "### figure3" in text
         assert "### figure10" in text
+
+
+class TestFaultOptions:
+    def test_fault_plan_registered_on_track_and_live(self):
+        for command in ["track", "live"]:
+            args = build_parser().parse_args(
+                [command, "--fault-plan", "mixed"]
+            )
+            assert args.fault_plan == "mixed"
+            args = build_parser().parse_args([command])
+            assert args.fault_plan is None
+
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.plan == "mixed"
+        assert args.levels == [0.0, 0.25, 0.5, 1.0]
+        assert args.distribution == "single"
+        assert args.sources == 1
+
+    def test_chaos_levels_parsing(self):
+        args = build_parser().parse_args(["chaos", "--levels", "0,0.5,2"])
+        assert args.levels == [0.0, 0.5, 2.0]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--levels", "0,-1"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--levels", "abc"])
+
+    def test_track_with_fault_plan(self, capsys):
+        code = main(
+            [
+                "--seed",
+                "2",
+                "track",
+                "--max-configs",
+                "8",
+                "--sources",
+                "1",
+                "--fault-plan",
+                "worker-crash",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resilience" in out
+
+    def test_chaos_command_sweeps_levels(self, capsys):
+        code = main(
+            [
+                "--seed",
+                "3",
+                "chaos",
+                "--max-configs",
+                "4",
+                "--levels",
+                "0,1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "level" in out
+        assert "all invariants held at every fault level" in out
+
+    def test_chaos_rejects_unknown_plan(self, capsys):
+        assert main(["chaos", "--plan", "nonsense"]) == 2
+        assert "fault plan" in capsys.readouterr().err

@@ -205,3 +205,182 @@ class TestSerialParallelEquivalence:
         for a, b in zip(plain, fanned):
             assert a.routes == b.routes
             assert a.catchments == b.catchments
+
+
+class TestFaultContainment:
+    """Injected faults never abort a batch and never change results."""
+
+    @staticmethod
+    def _crashy(rate=1.0, **kwargs):
+        from repro.faults import FaultInjector, FaultPlan, FaultSpec
+
+        return FaultInjector(
+            FaultPlan(
+                specs=(FaultSpec(kind="worker-crash", rate=rate, **kwargs),)
+            )
+        )
+
+    def test_serial_retries_past_sub_certain_crashes(self, mini_simulator):
+        from repro.faults.resilience import RetryPolicy
+
+        engine = SimulationEngine(
+            mini_simulator,
+            injector=self._crashy(rate=0.5),
+            retry_policy=RetryPolicy(max_retries=8, backoff_base=0.0),
+        )
+        clean = SimulationEngine(mini_simulator)
+        configs = [
+            anycast_all(LINKS),
+            AnnouncementConfig(announced=frozenset(["l1"])),
+            AnnouncementConfig(announced=frozenset(["l2"])),
+        ]
+        for a, b in zip(engine.simulate_many(configs), clean.simulate_many(configs)):
+            assert a.routes == b.routes
+            assert a.catchments == b.catchments
+
+    def test_serial_bypass_after_retry_budget(self, mini_simulator):
+        from repro.faults.resilience import RetryPolicy
+
+        engine = SimulationEngine(
+            mini_simulator,
+            injector=self._crashy(rate=1.0),  # never clears by retrying
+            retry_policy=RetryPolicy(max_retries=2, backoff_base=0.0),
+        )
+        outcome = engine.simulate(anycast_all(LINKS))
+        assert outcome.catchments  # completed despite the certain fault
+        assert engine.stats.faults_bypassed == 1
+        assert engine.stats.retries == 2
+
+    def test_parallel_worker_crash_contained(self, small_testbed):
+        from repro.faults.resilience import RetryPolicy
+
+        tracker = SpoofTracker(small_testbed)
+        configs = tracker.schedule[:8]
+        clean = SimulationEngine(small_testbed.simulator)
+        expected = clean.simulate_many(configs)
+        with SimulationEngine(
+            small_testbed.simulator,
+            workers=2,
+            spec=small_testbed.spec,
+            injector=self._crashy(rate=0.4),
+            retry_policy=RetryPolicy(max_retries=6, backoff_base=0.0),
+        ) as engine:
+            outcomes = engine.simulate_many(configs)
+            assert engine.stats.worker_failures >= 1
+            assert engine.stats.pool_rebuilds >= 1
+        for a, b in zip(expected, outcomes):
+            assert a.routes == b.routes
+            assert a.catchments == b.catchments
+
+    def test_iter_simulate_survives_worker_crash(self, small_testbed):
+        from repro.faults.resilience import RetryPolicy
+
+        tracker = SpoofTracker(small_testbed)
+        configs = tracker.schedule[:8]
+        clean = SimulationEngine(small_testbed.simulator)
+        expected = clean.simulate_many(configs)
+        with SimulationEngine(
+            small_testbed.simulator,
+            workers=2,
+            spec=small_testbed.spec,
+            injector=self._crashy(rate=0.4),
+            retry_policy=RetryPolicy(max_retries=6, backoff_base=0.0),
+        ) as engine:
+            streamed = list(engine.iter_simulate(configs))
+        assert len(streamed) == len(expected)
+        for a, b in zip(expected, streamed):
+            assert a.routes == b.routes
+
+    def test_hang_timeout_falls_back_to_serial(self, small_testbed):
+        from repro.faults import FaultInjector, FaultPlan, FaultSpec
+        from repro.faults.resilience import RetryPolicy
+
+        injector = FaultInjector(
+            FaultPlan(
+                specs=(
+                    FaultSpec(
+                        kind="worker-hang", rate=1.0, delay_seconds=30.0
+                    ),
+                )
+            )
+        )
+        tracker = SpoofTracker(small_testbed)
+        configs = tracker.schedule[:4]
+        clean = SimulationEngine(small_testbed.simulator)
+        expected = clean.simulate_many(configs)
+        with SimulationEngine(
+            small_testbed.simulator,
+            workers=2,
+            spec=small_testbed.spec,
+            injector=injector,
+            retry_policy=RetryPolicy(task_timeout=0.5, backoff_base=0.0),
+        ) as engine:
+            outcomes = engine.simulate_many(configs)
+            assert engine.stats.worker_failures >= 1
+        for a, b in zip(expected, outcomes):
+            assert a.routes == b.routes
+
+    def test_breaker_opens_and_stays_serial(self, small_testbed):
+        from repro.faults.resilience import RetryPolicy
+
+        tracker = SpoofTracker(small_testbed)
+        with SimulationEngine(
+            small_testbed.simulator,
+            workers=2,
+            spec=small_testbed.spec,
+            injector=self._crashy(rate=0.6),
+            retry_policy=RetryPolicy(max_retries=8, backoff_base=0.0),
+            breaker_threshold=1,
+        ) as engine:
+            engine.simulate_many(tracker.schedule[:6])
+            assert engine.breaker.open
+            rebuilds = engine.stats.pool_rebuilds
+            # Further batches run serially: no new pool, no new failures.
+            engine.simulate_many(tracker.schedule[6:10])
+            assert engine.stats.pool_rebuilds == rebuilds
+            assert engine._pool is None
+
+    def test_close_after_in_flight_failure_releases_pool(self, small_testbed):
+        from repro.faults.resilience import RetryPolicy
+
+        tracker = SpoofTracker(small_testbed)
+        engine = SimulationEngine(
+            small_testbed.simulator,
+            workers=2,
+            spec=small_testbed.spec,
+            injector=self._crashy(rate=0.4),
+            retry_policy=RetryPolicy(max_retries=6, backoff_base=0.0),
+        )
+        try:
+            engine.simulate_many(tracker.schedule[:8])
+            assert engine.stats.worker_failures >= 1
+        finally:
+            engine.close()
+        assert engine._pool is None
+        # The engine stays usable after close (serial path + cache).
+        outcome = engine.simulate(tracker.schedule[0])
+        assert outcome.catchments
+
+    def test_context_manager_releases_pool_on_exit(self, small_testbed):
+        tracker = SpoofTracker(small_testbed)
+        with SimulationEngine(
+            small_testbed.simulator, workers=2, spec=small_testbed.spec
+        ) as engine:
+            engine.simulate_many(tracker.schedule[:4])
+            assert engine._pool is not None
+        assert engine._pool is None
+
+    def test_fault_stats_render_in_summary(self):
+        stats = EngineStats(
+            configs_simulated=3,
+            configs_requested=5,
+            worker_failures=1,
+            retries=2,
+        )
+        text = stats.summary()
+        assert "3 simulated / 5 requested" in text
+        assert "1 worker failures" in text
+
+    def test_clean_summary_omits_fault_counters(self):
+        text = EngineStats(configs_simulated=3, configs_requested=5).summary()
+        assert "worker failures" not in text

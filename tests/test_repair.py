@@ -2,7 +2,11 @@
 
 from repro.measurement.ip2as import AddressPlan, IPToASMapper
 from repro.measurement.repair import (
+    DROP_ALL_UNMAPPED,
+    DROP_ALL_UNRESPONSIVE,
+    DROP_EMPTY,
     as_path_from_traceroute,
+    as_path_with_reason,
     build_bgp_segment_index,
     build_gap_index,
     map_hops_to_ases,
@@ -178,3 +182,52 @@ class TestMapHops:
         hops = [plan.router_address(1, 0), None, 0x01020304, 0xCE000005]
         mapped = map_hops_to_ases(trace(hops), mapper)
         assert mapped == [1, None, None, None]
+
+
+class TestDropReasons:
+    """Degenerate traceroutes are dropped with an explicit reason."""
+
+    def make_mapper(self):
+        plan = AddressPlan([1, 2, 3], origin_asn=9)
+        ixp_prefix = Prefix.parse("206.0.0.0/24")
+        return plan, IPToASMapper(plan, [ixp_prefix]), ixp_prefix
+
+    def test_empty_traceroute_dropped(self):
+        _, mapper, _ = self.make_mapper()
+        path, reason = as_path_with_reason(trace([]), mapper)
+        assert path == ()
+        assert reason == DROP_EMPTY
+
+    def test_all_unresponsive_dropped(self):
+        _, mapper, _ = self.make_mapper()
+        path, reason = as_path_with_reason(trace([None, None, None]), mapper)
+        assert path == ()
+        assert reason == DROP_ALL_UNRESPONSIVE
+
+    def test_all_unmapped_dropped(self):
+        _, mapper, ixp_prefix = self.make_mapper()
+        # Responsive hops exist, but every one is an IXP address: the
+        # pipeline maps them all to UNKNOWN and nothing survives.
+        hops = [int(ixp_prefix.network) + 1, int(ixp_prefix.network) + 2]
+        path, reason = as_path_with_reason(trace(hops), mapper)
+        assert path == ()
+        assert reason == DROP_ALL_UNMAPPED
+
+    def test_usable_traceroute_has_no_reason(self):
+        plan, mapper, _ = self.make_mapper()
+        hops = [plan.router_address(1, 0), plan.target_address()]
+        path, reason = as_path_with_reason(trace(hops), mapper)
+        assert path == (1, 9)
+        assert reason is None
+
+    def test_partial_unresponsive_still_usable(self):
+        plan, mapper, _ = self.make_mapper()
+        hops = [None, plan.router_address(2, 0), None]
+        path, reason = as_path_with_reason(trace(hops), mapper)
+        assert path == (2,)
+        assert reason is None
+
+    def test_legacy_api_returns_empty_path(self):
+        _, mapper, _ = self.make_mapper()
+        assert as_path_from_traceroute(trace([None, None]), mapper) == ()
+        assert as_path_from_traceroute(trace([]), mapper) == ()
