@@ -10,14 +10,19 @@ Subcommands:
   service (``repro.live``) with rolling per-window attribution.
 * ``chaos`` — sweep a fault plan across intensities and print an
   accuracy-vs-fault-rate table (``repro.faults``).
+* ``profile`` — run the pipeline under the observability layer's
+  profiler and print per-phase timings plus a top-K hotspot table.
 * ``experiments`` — regenerate the EXPERIMENTS.md body from a fresh run.
+
+``track``, ``live``, and ``chaos`` accept ``--trace PATH`` (JSONL span
+tree with deterministic span ids) and ``--metrics PATH``
+(Prometheus-format counter/gauge/histogram dump).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from dataclasses import replace
 from typing import List, Optional, Sequence
 
@@ -27,6 +32,7 @@ from .analysis.tables import table1, table2
 from .core.pipeline import SpoofTracker, TestbedSpec, build_testbed
 from .errors import FaultInjectionError
 from .faults import BUNDLED_PLANS, FaultInjector, load_fault_plan
+from .obs import Observability, Stopwatch, build_manifest
 from .spoof.sources import PLACEMENT_DISTRIBUTIONS, make_placement
 from .topology.generator import TopologyParams
 
@@ -58,11 +64,13 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown figure ids: {unknown}; known: {sorted(FIGURE_RUNNERS)}")
         return 2
-    start = time.time()
+    # Monotonic interval (a wall-clock adjustment mid-run used to be able
+    # to skew or even negate this timing when it read time.time()).
+    stopwatch = Stopwatch()
     run = _build_run(args)
     print(
         f"# evaluation run: {len(run.schedule)} configurations over "
-        f"{len(run.universe)} ASes ({time.time() - start:.1f}s, "
+        f"{len(run.universe)} ASes ({stopwatch.elapsed():.1f}s, "
         f"{run.engine.stats.summary()})",
         file=sys.stderr,
     )
@@ -95,10 +103,55 @@ def _make_injector(args: argparse.Namespace):
     return FaultInjector(load_fault_plan(source))
 
 
+def _make_obs(
+    args: argparse.Namespace, command: str, profile: bool = False
+) -> Optional[Observability]:
+    """An armed :class:`Observability` bundle, or None when not asked for.
+
+    Unarmed runs (no ``--trace``/``--metrics``/profiling) return None so
+    the pipeline's instrumentation guards stay on their no-op path.
+    """
+    if not (getattr(args, "trace", None) or getattr(args, "metrics", None) or profile):
+        return None
+    return Observability.for_run(command, profile=profile)
+
+
+def _manifest_for(
+    args: argparse.Namespace, command: str, injector=None, **config
+):
+    """A :class:`~repro.obs.RunManifest` for this invocation."""
+    return build_manifest(
+        command,
+        seed=args.seed,
+        scale=args.scale,
+        workers=getattr(args, "workers", 1),
+        config=config,
+        fault_plan=(
+            injector.plan.as_serializable() if injector is not None else None
+        ),
+    )
+
+
+def _export_obs(args: argparse.Namespace, obs: Optional[Observability]) -> None:
+    """Write ``--trace`` / ``--metrics`` artifacts and announce them."""
+    if obs is None:
+        return
+    trace = getattr(args, "trace", None)
+    if trace and obs.tracer is not None:
+        obs.tracer.write_jsonl(trace)
+        print(f"wrote trace {trace}", file=sys.stderr)
+    metrics = getattr(args, "metrics", None)
+    if metrics and obs.registry is not None:
+        obs.registry.write_prometheus(metrics)
+        print(f"wrote metrics {metrics}", file=sys.stderr)
+
+
 def _cmd_track(args: argparse.Namespace) -> int:
+    injector = _make_injector(args)
+    obs = _make_obs(args, "track")
     testbed = build_testbed(seed=args.seed, topology_params=SCALES[args.scale])
     tracker = SpoofTracker(
-        testbed, workers=args.workers, injector=_make_injector(args)
+        testbed, workers=args.workers, injector=injector, obs=obs
     )
     rng = random.Random(args.seed + 1)
     candidate_ases = sorted(testbed.topology.stubs or testbed.graph.ases)
@@ -114,9 +167,55 @@ def _cmd_track(args: argparse.Namespace) -> int:
         )
     finally:
         tracker.engine.close()
+    report.manifest = _manifest_for(
+        args,
+        "track",
+        injector=injector,
+        max_configs=args.max_configs,
+        measured=args.measured,
+        distribution=args.distribution,
+        sources=args.sources,
+        split_threshold=args.split_threshold,
+    )
+    _export_obs(args, obs)
     print(report.summary())
     true_sources = ", ".join(str(asn) for asn in sorted(placement.spoofing_ases))
     print(f"ground-truth source ASes: {true_sources}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    obs = Observability.for_run("profile", profile=True)
+    testbed = build_testbed(seed=args.seed, topology_params=SCALES[args.scale])
+    tracker = SpoofTracker(testbed, workers=args.workers, obs=obs)
+    rng = random.Random(args.seed + 1)
+    candidate_ases = sorted(testbed.topology.stubs or testbed.graph.ases)
+    placement = make_placement(
+        args.distribution, candidate_ases, args.sources, rng
+    )
+    try:
+        report = tracker.run(
+            max_configs=args.max_configs,
+            placement=placement,
+            measured=args.measured,
+        )
+    finally:
+        tracker.engine.close()
+    report.manifest = _manifest_for(
+        args,
+        "profile",
+        max_configs=args.max_configs,
+        measured=args.measured,
+    )
+    _export_obs(args, obs)
+    assert obs.timer is not None and obs.profiler is not None
+    print("# per-phase wall time")
+    print(obs.timer.table())
+    print()
+    print(f"# top {args.top} hotspots (engine fixpoints + NNLS solves)")
+    print(obs.profiler.hotspot_table(args.top))
+    print()
+    print(report.summary())
     return 0
 
 
@@ -179,9 +278,15 @@ def _cmd_live(args: argparse.Namespace) -> int:
     from .analysis.live import render_window, render_window_table
     from .live import LiveTracebackService, ReplayScenario, load_checkpoint
 
+    obs = None
+    injector = None
     if args.resume:
+        # Resumed services rebuild mid-run state; the premeasure span and
+        # controller counters are gone, so tracing starts fresh runs only.
         service = load_checkpoint(args.resume, workers=args.workers)
     else:
+        obs = _make_obs(args, "live")
+        injector = _make_injector(args)
         if args.checkpoint_every > 0 and not args.checkpoint:
             print("--checkpoint-every needs --checkpoint PATH", file=sys.stderr)
             return 2
@@ -209,7 +314,8 @@ def _cmd_live(args: argparse.Namespace) -> int:
             scenario=scenario,
             spec=spec,
             workers=args.workers,
-            injector=_make_injector(args),
+            injector=injector,
+            obs=obs,
         )
     on_window = None
     if not args.quiet:
@@ -224,6 +330,18 @@ def _cmd_live(args: argparse.Namespace) -> int:
             print(f"wrote final checkpoint {args.checkpoint}", file=sys.stderr)
     finally:
         service.close()
+    if not args.resume:
+        report.manifest = _manifest_for(
+            args,
+            "live",
+            injector=injector,
+            max_configs=args.max_configs,
+            distribution=args.distribution,
+            sources=args.sources,
+            window_minutes=args.window_minutes,
+            adaptive=not args.in_order,
+        )
+    _export_obs(args, obs)
     print(report.summary())
     print()
     print(render_window_table(report.windows, every=args.table_every))
@@ -249,6 +367,9 @@ def _parse_levels(text: str) -> List[float]:
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
     base_plan = load_fault_plan(args.plan)
+    # One bundle spans the whole sweep: span ordinals keep the repeated
+    # pipeline phases distinct, and counters accumulate across levels.
+    obs = _make_obs(args, "chaos")
     testbed = build_testbed(seed=args.seed, topology_params=SCALES[args.scale])
     rng = random.Random(args.seed + 1)
     candidate_ases = sorted(testbed.topology.stubs or testbed.graph.ases)
@@ -271,7 +392,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     for level in args.levels:
         injector = FaultInjector(base_plan.scaled(level))
         tracker = SpoofTracker(
-            testbed, workers=args.workers, injector=injector
+            testbed, workers=args.workers, injector=injector, obs=obs
         )
         try:
             report = tracker.run(
@@ -292,6 +413,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             f"{quality.recall:>7.0%} {quality.precision:>10.0%} "
             f"{len(resilience.violations):>11d}"
         )
+    _export_obs(args, obs)
     if worst_violations:
         print(f"\n{worst_violations} invariant violations — see above")
         return 1
@@ -353,6 +475,20 @@ def build_parser() -> argparse.ArgumentParser:
             help="use the full measurement pipeline instead of ground truth",
         )
 
+    def add_obs_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--trace",
+            default=None,
+            metavar="PATH",
+            help="write a JSONL span trace (deterministic span ids)",
+        )
+        sub.add_argument(
+            "--metrics",
+            default=None,
+            metavar="PATH",
+            help="write a Prometheus-format metrics dump",
+        )
+
     def add_fault_plan(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
             "--fault-plan",
@@ -391,7 +527,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_run_options(track)
     add_fault_plan(track)
+    add_obs_options(track)
     track.set_defaults(func=_cmd_track)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="run the pipeline under the profiler and print hotspots",
+    )
+    profile.add_argument(
+        "--distribution",
+        choices=PLACEMENT_DISTRIBUTIONS,
+        default="single",
+        help="spoofing-source placement",
+    )
+    profile.add_argument(
+        "--sources", type=int, default=1, help="number of sources"
+    )
+    profile.add_argument(
+        "--top", type=int, default=15, help="hotspot rows to print"
+    )
+    add_run_options(profile)
+    add_obs_options(profile)
+    profile.set_defaults(func=_cmd_profile)
 
     live = subparsers.add_parser(
         "live",
@@ -494,6 +651,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_workers(live)
     add_fault_plan(live)
+    add_obs_options(live)
     live.set_defaults(func=_cmd_live)
 
     chaos = subparsers.add_parser(
@@ -523,6 +681,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--sources", type=int, default=1, help="number of sources")
     add_run_options(chaos)
+    add_obs_options(chaos)
     chaos.set_defaults(func=_cmd_chaos)
 
     headline = subparsers.add_parser(

@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import time
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import (
     Callable,
     Dict,
@@ -68,10 +68,20 @@ _Store = Callable[[ConfigKey, RoutingOutcome], None]
 class EngineStats:
     """Counters accumulated by a :class:`SimulationEngine`.
 
+    Every *count* here is a logical, scheduling-independent quantity: a
+    seeded scenario produces identical counts serial or parallel, which
+    is what lets the observability layer treat them as deterministic
+    metrics.  The time fields (``wall_time``, ``queue_wait``) and
+    ``redundant_parent_sims`` are measured/physical quantities and vary
+    run to run.
+
     Attributes:
         configs_requested: configurations asked for (hits + misses).
-        configs_simulated: Gauss-Seidel fixpoints actually run, including
-            warm-start parents simulated on demand.
+        configs_simulated: Gauss-Seidel fixpoints charged to the run,
+            including warm-start parents simulated on demand.  Counted
+            *logically* — as the equivalent serial run would have run
+            them — so the total is identical at any worker count even
+            though workers may physically re-simulate a shared parent.
         cache_hits: requests served from the outcome cache (including
             duplicates within one batch).
         warm_starts: simulations seeded from a parent outcome.
@@ -80,10 +90,22 @@ class EngineStats:
             parent's cold pass count is the stand-in for what the child
             would have cost cold.
         wall_time: seconds spent inside :meth:`SimulationEngine.simulate`
-            / :meth:`SimulationEngine.simulate_many`.
+            / :meth:`SimulationEngine.simulate_many` /
+            :meth:`SimulationEngine.iter_simulate`.  Measured with the
+            monotonic clock over disjoint windows — consumer time between
+            ``iter_simulate`` yields is never attributed to the engine.
+        queue_wait: seconds of ``wall_time`` spent blocked waiting on
+            worker-pool results (0 in serial runs).
+        redundant_parent_sims: physical warm-start-parent fixpoints run
+            beyond the logical count (workers re-deriving a parent the
+            serial run would have had cached).  Net of work *saved* on
+            containment re-runs, so only the post-batch value is
+            meaningful.
         worker_failures: pool tasks that died or timed out (injected or
             real); each triggers a pool teardown and a serial re-run of
             the outstanding work.
+        last_worker_error: repr of the most recent exception a worker
+            failure was contained from ("" when none occurred).
         retries: serial attempts re-run after an injected fault.
         faults_bypassed: tasks whose injected fault outlived the retry
             budget and ran with injection suppressed.
@@ -97,25 +119,17 @@ class EngineStats:
     warm_starts: int = 0
     passes_saved: int = 0
     wall_time: float = 0.0
+    queue_wait: float = 0.0
+    redundant_parent_sims: int = 0
     worker_failures: int = 0
+    last_worker_error: str = ""
     retries: int = 0
     faults_bypassed: int = 0
     pool_rebuilds: int = 0
 
     def copy(self) -> "EngineStats":
         """Independent snapshot of the current counters."""
-        return EngineStats(
-            configs_requested=self.configs_requested,
-            configs_simulated=self.configs_simulated,
-            cache_hits=self.cache_hits,
-            warm_starts=self.warm_starts,
-            passes_saved=self.passes_saved,
-            wall_time=self.wall_time,
-            worker_failures=self.worker_failures,
-            retries=self.retries,
-            faults_bypassed=self.faults_bypassed,
-            pool_rebuilds=self.pool_rebuilds,
-        )
+        return replace(self)
 
     def since(self, before: "EngineStats") -> "EngineStats":
         """Counters accumulated after the ``before`` snapshot was taken."""
@@ -126,7 +140,16 @@ class EngineStats:
             warm_starts=self.warm_starts - before.warm_starts,
             passes_saved=self.passes_saved - before.passes_saved,
             wall_time=self.wall_time - before.wall_time,
+            queue_wait=self.queue_wait - before.queue_wait,
+            redundant_parent_sims=self.redundant_parent_sims
+            - before.redundant_parent_sims,
             worker_failures=self.worker_failures - before.worker_failures,
+            last_worker_error=(
+                self.last_worker_error
+                if self.last_worker_error != before.last_worker_error
+                or self.worker_failures > before.worker_failures
+                else ""
+            ),
             retries=self.retries - before.retries,
             faults_bypassed=self.faults_bypassed - before.faults_bypassed,
             pool_rebuilds=self.pool_rebuilds - before.pool_rebuilds,
@@ -241,31 +264,56 @@ def _init_worker(payload, warm_start: bool) -> None:
 
 
 def _worker_simulate(
-    item: Tuple[int, AnnouncementConfig, Optional[FaultAction]]
-) -> Tuple[int, RoutingOutcome, int, int, int]:
+    item: Tuple[
+        int,
+        AnnouncementConfig,
+        Optional[FaultAction],
+        Tuple[Tuple[ConfigKey, RoutingOutcome], ...],
+    ]
+) -> Tuple[
+    int,
+    RoutingOutcome,
+    int,
+    int,
+    int,
+    Tuple[Tuple[ConfigKey, RoutingOutcome], ...],
+]:
     """Pool task: simulate one configuration in a worker process.
 
     Warm-start parents are resolved against a worker-local cache (they
     recur across a schedule's prepend/poison phases, so each worker pays
-    for each parent at most once).  A :class:`FaultAction` decided by the
-    main process (chaos runs) executes *here*, at the site — raising an
+    for each parent at most once).  Parents travel both ways: the main
+    process ships any already-cached ancestor with the task, and parents
+    the worker had to simulate itself come back in the result so the
+    main cache learns them — later batches hit instead of re-deriving.
+
+    A :class:`FaultAction` decided by the main process (chaos runs)
+    executes *here*, at the site — raising an
     :class:`~repro.errors.InjectedFault` or stalling the task — so the
     engine's containment path is exercised exactly as a real worker
     failure would exercise it.
     """
     assert _WORKER_STATE is not None, "worker initializer did not run"
     simulator, warm_start, parent_cache = _WORKER_STATE
-    index, config, action = item
+    index, config, action, parents = item
+    for parent_key, parent_outcome in parents:
+        parent_cache.setdefault(parent_key, parent_outcome)
     if action is not None:
         action.execute()
+    new_parents: List[Tuple[ConfigKey, RoutingOutcome]] = []
+
+    def _store(key: ConfigKey, outcome: RoutingOutcome) -> None:
+        parent_cache[key] = outcome
+        new_parents.append((key, outcome))
+
     outcome, fixpoints, warms, saved = _simulate_resolved(
         simulator,
         config,
         warm_start,
         parent_cache.get,
-        parent_cache.__setitem__,
+        _store,
     )
-    return index, outcome, fixpoints, warms, saved
+    return index, outcome, fixpoints, warms, saved, tuple(new_parents)
 
 
 # ----------------------------------------------------------------------
@@ -448,10 +496,13 @@ class SimulationEngine:
             misses.append((key, config))
 
         results = None
+        logical: Dict[ConfigKey, int] = {}
+        if misses:
+            logical = self._logical_fixpoints(misses)
         if misses and not self.breaker.open:
             pool = self._ensure_pool()
             tasks = [
-                (i, config, self._action_for(key))
+                (i, config, self._action_for(key), self._parents_for_task(config))
                 for i, (key, config) in enumerate(misses)
             ]
             results = pool.imap_unordered(_worker_simulate, tasks)
@@ -463,30 +514,38 @@ class SimulationEngine:
                 wait_start = time.perf_counter()
                 if results is not None:
                     try:
-                        index, outcome, fixpoints, warms, saved = (
+                        index, outcome, fixpoints, warms, saved, new_parents = (
                             self._next_result(results)
                         )
-                    except Exception:
+                    except Exception as exc:
                         # Broken pool mid-stream: drop it and finish the
                         # outstanding misses serially (identical results).
-                        self._handle_pool_failure()
+                        self._handle_pool_failure(repr(exc))
                         results = None
                         self.stats.wall_time += (
                             time.perf_counter() - wait_start
                         )
                         continue
-                    self.stats.wall_time += time.perf_counter() - wait_start
-                    self.stats.configs_simulated += fixpoints
-                    self.stats.warm_starts += warms
-                    self.stats.passes_saved += saved
+                    waited = time.perf_counter() - wait_start
+                    self.stats.wall_time += waited
+                    self.stats.queue_wait += waited
                     miss_key = misses[index][0]
+                    self._absorb_parents(new_parents)
+                    count = logical[miss_key]
+                    self.stats.configs_simulated += count
+                    self.stats.redundant_parent_sims += fixpoints - count
+                    if count > 0:
+                        self.stats.warm_starts += warms
+                        self.stats.passes_saved += saved
                     self._cache_put(miss_key, outcome)
                     by_key[miss_key] = outcome
                 else:
                     already = self._cache_get(key)
                     if already is not None:
-                        # Simulated en passant as a warm-start parent.
+                        # Simulated en passant as a warm-start parent (or
+                        # absorbed from a worker before the pool broke).
                         by_key[key] = already
+                        self._charge_cached(key, miss_configs[key], logical)
                         self.stats.wall_time += (
                             time.perf_counter() - wait_start
                         )
@@ -495,7 +554,9 @@ class SimulationEngine:
                         self._simulate_resilient(key, miss_configs[key])
                     )
                     self.stats.wall_time += time.perf_counter() - wait_start
-                    self.stats.configs_simulated += fixpoints
+                    count = logical.get(key, fixpoints)
+                    self.stats.configs_simulated += count
+                    self.stats.redundant_parent_sims += fixpoints - count
                     self.stats.warm_starts += warms
                     self.stats.passes_saved += saved
                     self._cache_put(key, outcome)
@@ -566,18 +627,35 @@ class SimulationEngine:
         self,
         misses: List[Tuple[ConfigKey, AnnouncementConfig]],
         by_key: Dict[ConfigKey, RoutingOutcome],
+        logical: Optional[Dict[ConfigKey, int]] = None,
     ) -> None:
+        """Run misses in-process.
+
+        With ``logical`` (the fallback path of a parallel batch),
+        fixpoints are charged at the pre-computed logical count so the
+        totals stay identical to a pure serial run even when the batch
+        finishes half-pool, half-serial; without it (pure serial mode)
+        physical counts *are* the logical counts.
+        """
         for key, config in misses:
             already = self._cache_get(key)
             if already is not None:
                 # Simulated en passant as a warm-start parent of an
-                # earlier miss in this batch.
+                # earlier miss in this batch (or absorbed from a worker
+                # before the pool broke).
                 by_key[key] = already
+                if logical is not None:
+                    self._charge_cached(key, config, logical)
                 continue
             outcome, fixpoints, warms, saved = self._simulate_resilient(
                 key, config
             )
-            self.stats.configs_simulated += fixpoints
+            if logical is not None:
+                count = logical.get(key, fixpoints)
+                self.stats.configs_simulated += count
+                self.stats.redundant_parent_sims += fixpoints - count
+            else:
+                self.stats.configs_simulated += fixpoints
             self.stats.warm_starts += warms
             self.stats.passes_saved += saved
             self._cache_put(key, outcome)
@@ -588,6 +666,105 @@ class SimulationEngine:
         # them so the schedule (which usually contains them) hits.
         self._cache_put(key, outcome)
 
+    def _logical_fixpoints(
+        self, misses: List[Tuple[ConfigKey, AnnouncementConfig]]
+    ) -> Dict[ConfigKey, int]:
+        """Per-miss fixpoint counts as the equivalent serial run charges.
+
+        Walks the misses in batch order against a simulated cache (the
+        real cache's keys plus everything the serial run would have
+        stored along the way): a miss already "cached" costs 0 (served
+        en passant), otherwise 1 plus each warm-start ancestor not yet
+        seen.  The per-key values depend only on the batch and the cache
+        contents at entry — never on pool scheduling — so charging them
+        makes ``configs_simulated`` identical at any worker count.
+        """
+        logical: Dict[ConfigKey, int] = {}
+        seen = set(self._cache.keys())
+        all_links = self.simulator.origin.link_ids
+        for key, config in misses:
+            if key in seen:
+                logical[key] = 0
+                continue
+            count = 1
+            if self.warm_start:
+                node = config
+                while True:
+                    parent = warm_start_parent(node, all_links)
+                    if parent is None:
+                        break
+                    parent_key = parent.key()
+                    if parent_key in seen:
+                        break
+                    seen.add(parent_key)
+                    count += 1
+                    node = parent
+            seen.add(key)
+            logical[key] = count
+        return logical
+
+    def _parents_for_task(
+        self, config: AnnouncementConfig
+    ) -> Tuple[Tuple[ConfigKey, RoutingOutcome], ...]:
+        """The nearest already-cached warm-start ancestor, for shipping.
+
+        Seeding the worker's parent cache with it skips the physical
+        re-simulation the worker would otherwise pay; outcomes are
+        unchanged either way (a parent outcome is itself deterministic).
+        """
+        if not self.warm_start:
+            return ()
+        all_links = self.simulator.origin.link_ids
+        node = config
+        while True:
+            parent = warm_start_parent(node, all_links)
+            if parent is None:
+                return ()
+            parent_key = parent.key()
+            outcome = self._cache_get(parent_key)
+            if outcome is not None:
+                return ((parent_key, outcome),)
+            node = parent
+
+    def _absorb_parents(
+        self, new_parents: Tuple[Tuple[ConfigKey, RoutingOutcome], ...]
+    ) -> None:
+        """Cache parents a worker had to simulate itself (mirrors the
+        serial path's ``_record_parent``), so later batches hit."""
+        for parent_key, parent_outcome in new_parents:
+            if parent_key not in self._cache:
+                self._cache_put(parent_key, parent_outcome)
+
+    def _charge_cached(
+        self,
+        key: ConfigKey,
+        config: AnnouncementConfig,
+        logical: Dict[ConfigKey, int],
+    ) -> None:
+        """Stats for a miss served from cache during a fallback re-run.
+
+        The serial reference run would have simulated it directly when
+        ``logical[key] > 0``; charge that count (and the warm start the
+        direct simulation would have recorded) so totals still match.
+        """
+        count = logical.get(key, 0)
+        if count == 0:
+            return
+        self.stats.configs_simulated += count
+        self.stats.redundant_parent_sims -= count
+        if not self.warm_start:
+            return
+        parent = warm_start_parent(config, self.simulator.origin.link_ids)
+        if parent is None:
+            return
+        self.stats.warm_starts += 1
+        parent_outcome = self._cache.get(parent.key())
+        outcome = self._cache.get(key)
+        if parent_outcome is not None and outcome is not None:
+            self.stats.passes_saved += max(
+                0, parent_outcome.passes - outcome.passes
+            )
+
     def _next_result(self, results):
         """One pool result, honoring the per-task timeout when set."""
         timeout = self.retry_policy.task_timeout
@@ -595,10 +772,12 @@ class SimulationEngine:
             return next(results)
         return results.next(timeout)
 
-    def _handle_pool_failure(self) -> None:
+    def _handle_pool_failure(self, reason: str = "") -> None:
         """Account a broken pool and tear it down (rebuilt lazily)."""
         self.stats.worker_failures += 1
         self.stats.pool_rebuilds += 1
+        if reason:
+            self.stats.last_worker_error = reason
         self.breaker.record_failure()
         self._discard_pool()
 
@@ -610,34 +789,41 @@ class SimulationEngine:
         if self.breaker.open:
             self._run_serial(misses, by_key)
             return
+        logical = self._logical_fixpoints(misses)
         pool = self._ensure_pool()
         chunksize = max(1, len(misses) // (self.workers * 4))
         tasks = [
-            (i, config, self._action_for(key))
+            (i, config, self._action_for(key), self._parents_for_task(config))
             for i, (key, config) in enumerate(misses)
         ]
         results = pool.imap_unordered(_worker_simulate, tasks, chunksize=chunksize)
         try:
             for _ in range(len(tasks)):
-                index, outcome, fixpoints, warms, saved = self._next_result(
-                    results
+                wait_start = time.perf_counter()
+                index, outcome, fixpoints, warms, saved, new_parents = (
+                    self._next_result(results)
                 )
-                self.stats.configs_simulated += fixpoints
-                self.stats.warm_starts += warms
-                self.stats.passes_saved += saved
+                self.stats.queue_wait += time.perf_counter() - wait_start
                 key = misses[index][0]
+                self._absorb_parents(new_parents)
+                count = logical[key]
+                self.stats.configs_simulated += count
+                self.stats.redundant_parent_sims += fixpoints - count
+                if count > 0:
+                    self.stats.warm_starts += warms
+                    self.stats.passes_saved += saved
                 self._cache_put(key, outcome)
                 by_key[key] = outcome
-        except Exception:
+        except Exception as exc:
             # A worker died, raised, or timed out (injected or real).
             # The pool may hold poisoned or hung workers: replace it and
             # finish the outstanding work serially — results identical,
             # only slower.
-            self._handle_pool_failure()
+            self._handle_pool_failure(repr(exc))
             remaining = [
                 (key, config) for key, config in misses if key not in by_key
             ]
-            self._run_serial(remaining, by_key)
+            self._run_serial(remaining, by_key, logical=logical)
         else:
             self.breaker.record_success()
 

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from ..live.service import LiveRunStats
+    from ..obs import RunManifest
     from .refinement import SplitReport
 
 from ..faults.health import InvariantMonitor, ResilienceReport, build_resilience_report
@@ -35,6 +36,7 @@ from ..measurement.collectors import BGPCollectorSet, select_vantages
 from ..measurement.ip2as import AddressPlan, IPToASMapper
 from ..measurement.ixp import IXPRegistry, synthesize_ixps
 from ..measurement.traceroute import TracerouteEngine, TracerouteParams
+from ..obs import Observability, record_engine_stats, record_fault_log
 from ..spoof.sources import SourcePlacement
 from ..spoof.traffic import link_volumes
 from ..topology.generator import GeneratedTopology, TopologyParams, generate_topology
@@ -238,6 +240,9 @@ class TrackerReport:
             (windows observed, dropped volume, dwell, stop reason).
         resilience: chaos accounting and invariant-check outcomes when
             the run carried a fault injector.
+        manifest: frozen run inputs + environment
+            (:class:`~repro.obs.manifest.RunManifest`) when the run was
+            launched through an instrumented entry point.
     """
 
     universe: FrozenSet[ASN]
@@ -251,6 +256,7 @@ class TrackerReport:
     engine_stats: Optional[EngineStats] = None
     live_stats: Optional["LiveRunStats"] = None
     resilience: Optional["ResilienceReport"] = None
+    manifest: Optional["RunManifest"] = None
 
     @property
     def mean_cluster_size(self) -> float:
@@ -317,6 +323,10 @@ class SpoofTracker:
             measurement campaign, and the ground-truth catchments.
         retry_policy: containment knobs for the default engine (ignored
             when ``engine`` is given).
+        obs: optional :class:`~repro.obs.Observability` bundle; when
+            armed, the run emits one span per pipeline phase (schedule,
+            simulate, measure, cluster, attribute) and folds engine /
+            campaign / fault counters into the bundle's registry.
     """
 
     def __init__(
@@ -327,12 +337,17 @@ class SpoofTracker:
         workers: int = 1,
         injector: Optional[FaultInjector] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.testbed = testbed
+        self.obs = obs if obs is not None else Observability()
         self.schedule_params = schedule_params or ScheduleParams()
-        self.schedule: List[AnnouncementConfig] = generate_schedule(
-            testbed.origin, testbed.graph, self.schedule_params
-        )
+        with self.obs.phase("schedule") as span:
+            self.schedule: List[AnnouncementConfig] = generate_schedule(
+                testbed.origin, testbed.graph, self.schedule_params
+            )
+            if span is not None:
+                span.set("configs", len(self.schedule))
         self.engine = engine or SimulationEngine(
             testbed.simulator,
             workers=workers,
@@ -384,129 +399,163 @@ class SpoofTracker:
 
         origin = self.testbed.origin
         injector = self.injector
+        obs = self.obs
+        registry = obs.registry
         stats_before = self.engine.stats.copy()
-        outcomes: List[RoutingOutcome] = self.engine.simulate_many(configs)
+        with obs.phase("simulate", configs=len(configs)) as span:
+            with obs.capture():
+                outcomes: List[RoutingOutcome] = self.engine.simulate_many(
+                    configs
+                )
+            if span is not None:
+                delta = self.engine.stats.since(stats_before)
+                span.set("configs_simulated", delta.configs_simulated)
+                span.set("cache_hits", delta.cache_hits)
 
         # Per-step sets of links whose catchments are partial (injected
         # measurement loss); refinement skips them, localization drops
         # the whole step.
         degraded_by_step: List[FrozenSet[LinkId]] = []
-        if measured:
-            first = self.testbed.campaign.measure(
-                outcomes[0], fault_token=0, injector=injector
-            )
-            universe = frozenset(first.assignment)
-            history = CatchmentHistory(universe)
-            history.add(first.assignment)
-            for index, outcome in enumerate(outcomes[1:], start=1):
-                history.add(
-                    self.testbed.campaign.measure(
-                        outcome, fault_token=index, injector=injector
-                    ).assignment
+        with obs.phase(
+            "measure", mode="measured" if measured else "ground-truth"
+        ) as span:
+            if measured:
+                first = self.testbed.campaign.measure(
+                    outcomes[0], fault_token=0, injector=injector,
+                    registry=registry,
                 )
-            catchment_history = history.catchment_maps(origin.link_ids)
-            degraded_by_step = [frozenset() for _ in catchment_history]
-        else:
-            universe = outcomes[0].covered_ases
-            catchment_history = []
-            for index, outcome in enumerate(outcomes):
-                maps = {
-                    link: frozenset(members & universe)
-                    for link, members in outcome.catchments.items()
-                }
-                if injector is not None:
-                    maps, degraded = injector.degrade_catchments(index, maps)
-                else:
-                    degraded = frozenset()
-                catchment_history.append(maps)
-                degraded_by_step.append(degraded)
-
-        state = ClusterState(universe)
-        steps: List[StepStats] = []
-        for (config, catchments), degraded in zip(
-            zip(configs, catchment_history), degraded_by_step
-        ):
-            state.refine_with_catchments(catchments, degraded_links=degraded)
-            steps.append(
-                StepStats(
-                    config_label=config.label or config.describe(),
-                    phase=config.phase,
-                    num_clusters=state.num_clusters(),
-                    mean_cluster_size=state.mean_size(),
-                    p90_cluster_size=state.size_percentile(90.0),
-                )
-            )
-        split_report = None
-        if split_threshold is not None and not measured:
-            from .refinement import LargeClusterSplitter
-
-            splitter = LargeClusterSplitter(
-                self.testbed.simulator,
-                origin,
-                threshold=split_threshold,
-                engine=self.engine,
-            )
-            split_report = splitter.split(state, max_configs=split_budget)
-            # The splitter refines ``state`` in place; per-config cluster
-            # statistics come from its snapshots, taken right after each
-            # deployed configuration (recomputing them here would just
-            # repeat the final state for every step).
-            for config, extra, snapshot in zip(
-                split_report.configs_deployed,
-                split_report.catchment_history,
-                split_report.snapshots,
-            ):
-                catchment_history.append(
-                    {
+                universe = frozenset(first.assignment)
+                history = CatchmentHistory(universe)
+                history.add(first.assignment)
+                for index, outcome in enumerate(outcomes[1:], start=1):
+                    history.add(
+                        self.testbed.campaign.measure(
+                            outcome, fault_token=index, injector=injector,
+                            registry=registry,
+                        ).assignment
+                    )
+                catchment_history = history.catchment_maps(origin.link_ids)
+                degraded_by_step = [frozenset() for _ in catchment_history]
+            else:
+                universe = outcomes[0].covered_ases
+                catchment_history = []
+                for index, outcome in enumerate(outcomes):
+                    maps = {
                         link: frozenset(members & universe)
-                        for link, members in extra.items()
+                        for link, members in outcome.catchments.items()
                     }
+                    if injector is not None:
+                        maps, degraded = injector.degrade_catchments(index, maps)
+                    else:
+                        degraded = frozenset()
+                    catchment_history.append(maps)
+                    degraded_by_step.append(degraded)
+            if span is not None:
+                span.set("universe", len(universe))
+                span.set("steps", len(catchment_history))
+
+        with obs.phase("cluster") as span:
+            state = ClusterState(universe)
+            steps: List[StepStats] = []
+            for (config, catchments), degraded in zip(
+                zip(configs, catchment_history), degraded_by_step
+            ):
+                state.refine_with_catchments(
+                    catchments, degraded_links=degraded
                 )
-                degraded_by_step.append(frozenset())
                 steps.append(
                     StepStats(
                         config_label=config.label or config.describe(),
-                        phase="split",
-                        num_clusters=snapshot.num_clusters,
-                        mean_cluster_size=snapshot.mean_cluster_size,
-                        p90_cluster_size=snapshot.p90_cluster_size,
+                        phase=config.phase,
+                        num_clusters=state.num_clusters(),
+                        mean_cluster_size=state.mean_size(),
+                        p90_cluster_size=state.size_percentile(90.0),
                     )
                 )
-        clusters = state.clusters()
+            split_report = None
+            if split_threshold is not None and not measured:
+                from .refinement import LargeClusterSplitter
+
+                splitter = LargeClusterSplitter(
+                    self.testbed.simulator,
+                    origin,
+                    threshold=split_threshold,
+                    engine=self.engine,
+                )
+                split_report = splitter.split(state, max_configs=split_budget)
+                # The splitter refines ``state`` in place; per-config cluster
+                # statistics come from its snapshots, taken right after each
+                # deployed configuration (recomputing them here would just
+                # repeat the final state for every step).
+                for config, extra, snapshot in zip(
+                    split_report.configs_deployed,
+                    split_report.catchment_history,
+                    split_report.snapshots,
+                ):
+                    catchment_history.append(
+                        {
+                            link: frozenset(members & universe)
+                            for link, members in extra.items()
+                        }
+                    )
+                    degraded_by_step.append(frozenset())
+                    steps.append(
+                        StepStats(
+                            config_label=config.label or config.describe(),
+                            phase="split",
+                            num_clusters=snapshot.num_clusters,
+                            mean_cluster_size=snapshot.mean_cluster_size,
+                            p90_cluster_size=snapshot.p90_cluster_size,
+                        )
+                    )
+            clusters = state.clusters()
+            if span is not None:
+                span.set("clusters", len(clusters))
+                span.set("steps", len(steps))
 
         monitor = InvariantMonitor() if injector is not None else None
 
         localization = None
-        if placement is not None:
-            volume_history = [
-                link_volumes(placement, outcome.catchments)
-                for outcome in outcomes
-            ]
-            if split_report is not None:
-                volume_history.extend(
-                    link_volumes(placement, extra)
-                    for extra in split_report.catchment_history
-                )
-            if monitor is not None:
-                for volumes in volume_history:
-                    monitor.check_volume_conservation(
-                        volumes.offered, volumes.attributed, volumes.unattributed
+        with obs.phase("attribute", skipped=placement is None) as span:
+            if placement is not None:
+                volume_history = [
+                    link_volumes(placement, outcome.catchments)
+                    for outcome in outcomes
+                ]
+                if split_report is not None:
+                    volume_history.extend(
+                        link_volumes(placement, extra)
+                        for extra in split_report.catchment_history
                     )
-            # Degraded steps are lossy evidence: a partial catchment can
-            # straddle final clusters, which the NNLS system rejects, so
-            # those rows are excluded from localization outright.
-            loc_catchments = [
-                maps
-                for maps, degraded in zip(catchment_history, degraded_by_step)
-                if not degraded
-            ]
-            loc_volumes = [
-                volumes
-                for volumes, degraded in zip(volume_history, degraded_by_step)
-                if not degraded
-            ]
-            localizer = SpoofLocalizer(clusters, loc_catchments)
-            localization = localizer.localize(loc_volumes)
+                if monitor is not None:
+                    for volumes in volume_history:
+                        monitor.check_volume_conservation(
+                            volumes.offered,
+                            volumes.attributed,
+                            volumes.unattributed,
+                        )
+                # Degraded steps are lossy evidence: a partial catchment can
+                # straddle final clusters, which the NNLS system rejects, so
+                # those rows are excluded from localization outright.
+                loc_catchments = [
+                    maps
+                    for maps, degraded in zip(
+                        catchment_history, degraded_by_step
+                    )
+                    if not degraded
+                ]
+                loc_volumes = [
+                    volumes
+                    for volumes, degraded in zip(
+                        volume_history, degraded_by_step
+                    )
+                    if not degraded
+                ]
+                localizer = SpoofLocalizer(clusters, loc_catchments)
+                with obs.capture():
+                    localization = localizer.localize(loc_volumes)
+                if span is not None:
+                    span.set("volume_rows", len(loc_volumes))
 
         resilience = None
         if injector is not None:
@@ -522,6 +571,29 @@ class SpoofTracker:
                 degraded_configs=sum(1 for d in degraded_by_step if d),
                 circuit_open=self.engine.breaker.open,
             )
+
+        if registry is not None:
+            record_engine_stats(
+                registry, self.engine.stats.since(stats_before)
+            )
+            if injector is not None:
+                record_fault_log(registry, injector.log.as_dict())
+            registry.counter(
+                "repro_pipeline_configs_deployed_total",
+                help="configurations deployed (schedule + splitter)",
+            ).inc(len(steps))
+            registry.counter(
+                "repro_pipeline_sources_total",
+                help="source ASes analyzed",
+            ).inc(len(universe))
+            registry.counter(
+                "repro_pipeline_clusters_total",
+                help="final clusters in the partition",
+            ).inc(len(clusters))
+            registry.counter(
+                "repro_pipeline_degraded_steps_total",
+                help="steps with partial (degraded) catchments",
+            ).inc(sum(1 for degraded in degraded_by_step if degraded))
 
         return TrackerReport(
             universe=universe,

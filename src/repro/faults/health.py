@@ -119,6 +119,9 @@ class ResilienceReport:
         faults_injected: fired faults by kind (from the injector's log).
         worker_failures: pool tasks that died or timed out (injected or
             real) and were re-run serially.
+        worker_error: repr of the most recent exception a worker failure
+            was contained from ("" when none occurred) — previously the
+            detail vanished into the broad containment handler.
         retries: serial retry attempts spent on injected faults.
         faults_bypassed: tasks whose injected fault outlived the retry
             budget and ran with injection suppressed (last-resort
@@ -136,6 +139,7 @@ class ResilienceReport:
     plan_name: str = ""
     faults_injected: Dict[str, int] = field(default_factory=dict)
     worker_failures: int = 0
+    worker_error: str = ""
     retries: int = 0
     faults_bypassed: int = 0
     pool_rebuilds: int = 0
@@ -179,6 +183,7 @@ class ResilienceReport:
             parts.append(
                 f"{self.worker_failures} worker failures"
                 + (" [circuit open]" if self.circuit_open else "")
+                + (f" (last: {self.worker_error})" if self.worker_error else "")
             )
         if self.degraded_configs:
             parts.append(f"{self.degraded_configs} degraded configs")
@@ -219,6 +224,7 @@ def build_resilience_report(
     )
     if engine_stats is not None:
         report.worker_failures = engine_stats.worker_failures
+        report.worker_error = getattr(engine_stats, "last_worker_error", "")
         report.retries = engine_stats.retries
         report.faults_bypassed = engine_stats.faults_bypassed
         report.pool_rebuilds = engine_stats.pool_rebuilds

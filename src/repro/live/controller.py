@@ -78,6 +78,9 @@ class AdaptiveController:
             before the attack and deployment only reads counters.
         timeline: dwell-cost model each deployment is charged against.
         policy: control knobs.
+        registry: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            selection and remeasurement decisions are counted as they
+            happen (per-phase selection counters, remeasure triggers).
     """
 
     def __init__(
@@ -86,6 +89,7 @@ class AdaptiveController:
         catchment_maps: Sequence[Mapping[LinkId, Catchment]],
         timeline: Optional[CampaignTimeline] = None,
         policy: Optional[ControllerPolicy] = None,
+        registry=None,
     ) -> None:
         if len(schedule) != len(catchment_maps):
             raise LiveServiceError(
@@ -98,6 +102,7 @@ class AdaptiveController:
         self.catchment_maps = [dict(maps) for maps in catchment_maps]
         self.timeline = timeline or CampaignTimeline()
         self.policy = policy or ControllerPolicy()
+        self.registry = registry
         self.remaining: List[int] = list(range(len(self.schedule)))
         self.configs_consumed = 0
         self.dwell_minutes = 0.0
@@ -159,6 +164,12 @@ class AdaptiveController:
         self.remaining.remove(choice)
         self.configs_consumed += 1
         self.dwell_minutes += self.timeline.minutes_per_config
+        if self.registry is not None:
+            self.registry.counter(
+                "repro_live_configs_selected_total",
+                help="configurations selected by the controller, by phase",
+                labels={"phase": self.schedule[choice].phase},
+            ).inc()
         return choice
 
     def should_stop(self, attributor: LiveAttributor) -> Optional[str]:
@@ -224,6 +235,11 @@ class AdaptiveController:
         self.catchment_maps = [dict(maps) for maps in fresh_maps]
         self.remeasurements += 1
         self.dwell_minutes += deployed_count * self.timeline.minutes_per_config
+        if self.registry is not None:
+            self.registry.counter(
+                "repro_live_remeasurements_total",
+                help="full catchment remeasurements triggered by churn",
+            ).inc()
 
     # ------------------------------------------------------------------
     # Checkpointing

@@ -20,6 +20,7 @@ report.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import asdict, dataclass, field
 from typing import (
     Callable,
@@ -48,6 +49,12 @@ from ..faults.health import (
 from ..faults.injection import FaultInjector
 from ..faults.plan import WORKER_CRASH, WORKER_HANG, FaultPlan
 from ..measurement.traceroute import TracerouteParams
+from ..obs import (
+    Observability,
+    RunManifest,
+    record_engine_stats,
+    record_fault_log,
+)
 from ..spoof.sources import (
     PLACEMENT_DISTRIBUTIONS,
     SourcePlacement,
@@ -240,6 +247,7 @@ class LiveReport:
     placement: Optional[SourcePlacement] = None
     engine_stats: Optional[EngineStats] = None
     resilience: Optional[ResilienceReport] = None
+    manifest: Optional[RunManifest] = None
 
     def to_tracker_report(self) -> TrackerReport:
         """Project onto the batch pipeline's report type."""
@@ -254,6 +262,7 @@ class LiveReport:
             engine_stats=self.engine_stats,
             live_stats=self.run_stats,
             resilience=self.resilience,
+            manifest=self.manifest,
         )
 
     def summary(self) -> str:
@@ -276,6 +285,10 @@ class LiveTracebackService:
             route-churn storms, checkpoint corruption, and simulation
             faults; the fault plan travels inside checkpoints so a
             resumed chaos run stays on plan.
+        obs: optional :class:`~repro.obs.Observability` bundle — arms a
+            "premeasure" span, per-window latency histograms, and live
+            runtime counters (windows, selections, remeasurements,
+            dropped batches).
     """
 
     def __init__(
@@ -286,9 +299,11 @@ class LiveTracebackService:
         workers: int = 1,
         timeline: Optional[CampaignTimeline] = None,
         injector: Optional[FaultInjector] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.scenario = scenario or ReplayScenario()
         self.injector = injector
+        self.obs = obs if obs is not None else Observability()
         if testbed is not None:
             self.testbed = testbed
             self.spec = testbed.spec if spec is None else spec
@@ -311,9 +326,15 @@ class LiveTracebackService:
         )
         # Pre-attack measurement: catchments of every scheduled
         # configuration, streamed through the engine in schedule order.
-        self._stale_outcomes: List[RoutingOutcome] = list(
-            self.engine.iter_simulate(self.schedule)
-        )
+        with self.obs.phase("premeasure", configs=len(self.schedule)) as span:
+            with self.obs.capture():
+                self._stale_outcomes: List[RoutingOutcome] = list(
+                    self.engine.iter_simulate(self.schedule)
+                )
+            if span is not None:
+                span.set(
+                    "configs_simulated", self.engine.stats.configs_simulated
+                )
         # What the controller's current maps were derived from; replaced
         # wholesale on remeasurement.
         self._map_outcomes: List[RoutingOutcome] = list(self._stale_outcomes)
@@ -350,6 +371,7 @@ class LiveTracebackService:
             [self._restrict(o.catchments) for o in self._stale_outcomes],
             self.timeline,
             policy,
+            registry=self.obs.registry,
         )
 
         self.event_log: List[Event] = []
@@ -370,6 +392,7 @@ class LiveTracebackService:
         self._checkpoint_ordinal = 0
         self.checkpoint_corruptions = 0
         self.restored_via_rollback = False
+        self._metrics_exported = False
 
     # ------------------------------------------------------------------
     # Helpers
@@ -466,6 +489,7 @@ class LiveTracebackService:
         index = self._active_index
         if index is None:
             raise LiveServiceError("window ran without an active configuration")
+        window_start = time.perf_counter()
 
         # Scheduled route churn strikes before this window's traffic.
         while (
@@ -507,6 +531,11 @@ class LiveTracebackService:
         stats = self._window_snapshot(index)
         self.window_stats.append(stats)
         self.window_index += 1
+        if self.obs.registry is not None:
+            self.obs.registry.histogram(
+                "repro_live_window_seconds",
+                help="wall seconds to process one observation window",
+            ).observe(time.perf_counter() - window_start)
         if on_window is not None:
             on_window(stats)
 
@@ -620,6 +649,12 @@ class LiveTracebackService:
                 "remeasured": remeasured,
             }
         )
+        if self.obs.registry is not None:
+            self.obs.registry.counter(
+                "repro_live_churn_events_total",
+                help="route-churn strikes, by remeasurement decision",
+                labels={"remeasured": "yes" if remeasured else "no"},
+            ).inc()
 
     def _remeasure(self) -> None:
         """Re-measure every catchment map against the drifted Internet."""
@@ -684,8 +719,41 @@ class LiveTracebackService:
             circuit_open=self.engine.breaker.open,
         )
 
+    def _export_metrics(self) -> None:
+        """Fold whole-run live counters into the registry (once)."""
+        registry = self.obs.registry
+        if registry is None or self._metrics_exported:
+            return
+        self._metrics_exported = True
+        stats = self.run_stats()
+        registry.counter(
+            "repro_live_windows_total",
+            help="observation windows processed",
+        ).inc(stats.windows)
+        registry.counter(
+            "repro_live_batches_dropped_total",
+            help="packet batches dropped by the bounded ingest queue",
+        ).inc(stats.dropped_batches)
+        registry.gauge(
+            "repro_live_dwell_minutes",
+            help="total announcement dwell (simulated minutes)",
+        ).set(stats.dwell_minutes)
+        registry.gauge(
+            "repro_live_peak_queue_depth",
+            help="peak ingest queue depth",
+        ).set(stats.max_queue_depth)
+        registry.gauge(
+            "repro_live_final_entropy_bits",
+            help="final attribution entropy",
+        ).set(stats.final_entropy)
+        record_engine_stats(registry, self.engine.stats.copy())
+        if self.injector is not None:
+            record_fault_log(registry, self.injector.log.as_dict())
+
     def report(self) -> LiveReport:
         """Snapshot everything into a :class:`LiveReport`."""
+        if self._finished:
+            self._export_metrics()
         return LiveReport(
             scenario=self.scenario,
             universe=self.universe,

@@ -88,6 +88,7 @@ class MeasurementCampaign:
         outcome: RoutingOutcome,
         fault_token: int = 0,
         injector: Optional[FaultInjector] = None,
+        registry=None,
     ) -> ConfigMeasurement:
         """Measure one configuration's catchments.
 
@@ -99,6 +100,9 @@ class MeasurementCampaign:
             injector: optional chaos hook; collector flaps and traceroute
                 loss fire here, before repair, exactly where production
                 measurements fail.
+            registry: optional :class:`~repro.obs.metrics.MetricsRegistry`
+                accumulating campaign counters (paths observed, drops by
+                reason, injected losses) across the run.
         """
         observations: List[CatchmentObservation] = []
 
@@ -159,6 +163,29 @@ class MeasurementCampaign:
 
         assignment, stats = resolve_observations(observations)
         assignment.pop(self.origin.asn, None)
+        if registry is not None:
+            registry.counter(
+                "repro_campaign_bgp_paths_total",
+                help="usable BGP feed paths observed",
+            ).inc(usable_bgp)
+            registry.counter(
+                "repro_campaign_traceroutes_total",
+                help="usable traceroutes observed",
+            ).inc(usable_traces)
+            registry.counter(
+                "repro_campaign_collectors_flapped_total",
+                help="vantage observations lost to injected collector flaps",
+            ).inc(collectors_flapped)
+            registry.counter(
+                "repro_campaign_traceroutes_lost_total",
+                help="traceroutes lost in flight (injected loss)",
+            ).inc(traceroutes_lost)
+            for reason, count in sorted(dropped.items()):
+                registry.counter(
+                    "repro_campaign_traceroutes_dropped_total",
+                    help="degenerate traceroutes dropped, by reason",
+                    labels={"reason": reason},
+                ).inc(count)
         return ConfigMeasurement(
             assignment=assignment,
             stats=stats,

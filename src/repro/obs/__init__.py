@@ -1,0 +1,138 @@
+"""repro.obs — end-to-end tracing, metrics, and profiling.
+
+The observability layer every other subsystem reports through:
+
+* :class:`MetricsRegistry` — counters (deterministic logical events),
+  gauges and histograms (measured data), lock-safe, mergeable, with a
+  Prometheus-format text dump.
+* :class:`Tracer` — deterministic span trees (SHA-256 identities, wall
+  durations as data only) exported as JSONL.
+* :class:`PhaseTimer` / :class:`ProfileCapture` / :class:`Stopwatch` —
+  monotonic timing and optional :mod:`cProfile` capture.
+* :class:`RunManifest` — frozen run inputs + environment, attached to
+  reports.
+* :class:`Observability` — the bundle threaded through
+  :class:`~repro.core.pipeline.SpoofTracker`, the engine, the
+  measurement campaign, and the live runtime.
+
+Everything here is stdlib-only and free when not enabled: call sites
+guard on ``obs is None`` / ``registry is None``, so a run without
+``--trace``/``--metrics`` pays nothing.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .manifest import RunManifest, build_manifest, git_describe, library_versions
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus,
+    record_engine_stats,
+    record_fault_log,
+)
+from .profiling import PhaseTimer, ProfileCapture, Stopwatch
+from .tracing import (
+    Span,
+    Tracer,
+    build_tree,
+    load_spans,
+    phase_durations,
+    span_tree_signature,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "PhaseTimer",
+    "ProfileCapture",
+    "RunManifest",
+    "Span",
+    "Stopwatch",
+    "Tracer",
+    "build_manifest",
+    "build_tree",
+    "git_describe",
+    "library_versions",
+    "load_spans",
+    "parse_prometheus",
+    "phase_durations",
+    "record_engine_stats",
+    "record_fault_log",
+    "span_tree_signature",
+]
+
+
+@dataclass
+class Observability:
+    """The instrumentation bundle one run threads through its layers.
+
+    Any piece may be None — an ``Observability()`` with no tracer still
+    collects metrics, a registry-less one still traces.  ``for_run``
+    builds the fully armed bundle the CLI uses.
+    """
+
+    registry: Optional[MetricsRegistry] = None
+    tracer: Optional[Tracer] = None
+    profiler: Optional[ProfileCapture] = None
+    timer: Optional[PhaseTimer] = field(default=None)
+
+    @classmethod
+    def for_run(
+        cls, run_name: str = "run", profile: bool = False
+    ) -> "Observability":
+        """Registry + tracer (+ optional profiler) for one run."""
+        registry = MetricsRegistry()
+        return cls(
+            registry=registry,
+            tracer=Tracer(run_name),
+            profiler=ProfileCapture(enabled=profile),
+            timer=PhaseTimer(registry),
+        )
+
+    def span(self, name: str, **attrs):
+        """Tracer span when tracing, else a no-op context manager."""
+        if self.tracer is not None:
+            return self.tracer.span(name, **attrs)
+        return _NULL_CONTEXT
+
+    @contextmanager
+    def phase(self, name: str, **attrs):
+        """One pipeline phase: a span *and* a phase-timer interval.
+
+        Yields the open :class:`~repro.obs.tracing.Span` (None when
+        tracing is unarmed) so callers can attach result attributes.
+        """
+        with self.span(name, **attrs) as span:
+            if self.timer is not None:
+                with self.timer.phase(name):
+                    yield span
+            else:
+                yield span
+
+    def capture(self):
+        """Profiler capture when profiling, else a no-op context manager."""
+        if self.profiler is not None and self.profiler.enabled:
+            return self.profiler.capture()
+        return _NULL_CONTEXT
+
+
+class _NullContext:
+    """Reusable no-op context manager (avoids allocating per call)."""
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+_NULL_CONTEXT = _NullContext()

@@ -1,0 +1,121 @@
+"""Run manifests: everything needed to reproduce (or audit) one run.
+
+The HAW reproducibility study attributes most reproduction drift to
+*unlogged pipeline decisions* — which seed, which scale, which fault
+plan, which library versions.  A :class:`RunManifest` freezes those
+decisions at run time and travels on the report (and into the metrics /
+trace exports), so every artifact this repo emits is self-describing.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Mapping, Optional
+
+
+def git_describe(cwd: Optional[str] = None) -> str:
+    """``git describe --always --dirty`` of the working tree, or ``""``.
+
+    Gated: outside a checkout (installed package, container without
+    git) the manifest simply records an empty revision.
+    """
+    try:
+        result = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=cwd,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return ""
+    if result.returncode != 0:
+        return ""
+    return result.stdout.strip()
+
+
+def library_versions() -> Dict[str, str]:
+    """Versions of the numeric stack the pipeline depends on."""
+    versions: Dict[str, str] = {}
+    for module_name in ("numpy", "scipy"):
+        try:
+            module = __import__(module_name)
+            versions[module_name] = getattr(module, "__version__", "unknown")
+        except ImportError:
+            versions[module_name] = "absent"
+    return versions
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Frozen description of one run's inputs and environment.
+
+    Attributes:
+        command: the subcommand (``track``, ``live``, ``chaos``, ...).
+        seed: the global PRNG seed.
+        scale: topology scale name (``""`` for programmatic runs).
+        workers: simulation worker processes.
+        config: remaining run parameters (max_configs, distribution, ...).
+        fault_plan: serialized fault plan, or None for fault-free runs.
+        git_revision: ``git describe`` of the source tree ("" if unknown).
+        python_version: interpreter version string.
+        platform: OS/architecture identifier.
+        repro_version: this package's version.
+        libraries: numeric-stack library versions.
+    """
+
+    command: str = ""
+    seed: int = 0
+    scale: str = ""
+    workers: int = 1
+    config: Dict[str, object] = field(default_factory=dict)
+    fault_plan: Optional[Dict] = None
+    git_revision: str = ""
+    python_version: str = ""
+    platform: str = ""
+    repro_version: str = ""
+    libraries: Dict[str, str] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict:
+        """JSON-safe dump."""
+        return asdict(self)
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    def write(self, path: str) -> str:
+        """Write the manifest JSON to ``path``; returns the path."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+        return path
+
+
+def build_manifest(
+    command: str,
+    seed: int = 0,
+    scale: str = "",
+    workers: int = 1,
+    config: Optional[Mapping[str, object]] = None,
+    fault_plan: Optional[Dict] = None,
+) -> RunManifest:
+    """Assemble a :class:`RunManifest` for the current environment."""
+    from .. import __version__
+
+    return RunManifest(
+        command=command,
+        seed=seed,
+        scale=scale,
+        workers=workers,
+        config=dict(config or {}),
+        fault_plan=fault_plan,
+        git_revision=git_describe(),
+        python_version=sys.version.split()[0],
+        platform=platform.platform(),
+        repro_version=__version__,
+        libraries=library_versions(),
+    )

@@ -1,0 +1,158 @@
+"""Lightweight profiling: monotonic stopwatches, phase timers, cProfile.
+
+Three tiers, all stdlib:
+
+* :class:`Stopwatch` — a :func:`time.perf_counter` interval.  Wall-clock
+  adjustments (NTP slew, DST, a sysadmin's ``date`` call) cannot skew or
+  negate it, which is why every elapsed-time read in this repo goes
+  through the monotonic clock rather than :func:`time.time`.
+* :class:`PhaseTimer` — named accumulating timers ("simulate", "cluster",
+  "nnls") that optionally feed a
+  :class:`~repro.obs.metrics.MetricsRegistry` histogram per phase.
+* :class:`ProfileCapture` — optional :mod:`cProfile` capture around a
+  hot region (engine fixpoints, NNLS solves, or a whole run), with a
+  top-K hotspot table for ``spooftrack profile``.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class Stopwatch:
+    """A running :func:`time.perf_counter` interval."""
+
+    __slots__ = ("_start",)
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Seconds since construction (or the last :meth:`restart`)."""
+        return time.perf_counter() - self._start
+
+    def restart(self) -> float:
+        """Reset the interval; returns the elapsed time it closed with."""
+        now = time.perf_counter()
+        elapsed = now - self._start
+        self._start = now
+        return elapsed
+
+
+class PhaseTimer:
+    """Accumulating named timers, optionally mirrored into a registry.
+
+    Usage::
+
+        timer = PhaseTimer(registry)
+        with timer.phase("simulate"):
+            engine.simulate_many(configs)
+        timer.seconds("simulate")  # → accumulated wall seconds
+    """
+
+    def __init__(self, registry=None, metric: str = "repro_phase_seconds") -> None:
+        self.registry = registry
+        self.metric = metric
+        self.totals: Dict[str, float] = {}
+        self.counts: Dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time the ``with`` body under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+            if self.registry is not None:
+                self.registry.histogram(
+                    self.metric,
+                    help="wall seconds per pipeline phase",
+                    labels={"phase": name},
+                ).observe(elapsed)
+
+    def seconds(self, name: str) -> float:
+        """Accumulated wall seconds of one phase (0.0 if never entered)."""
+        return self.totals.get(name, 0.0)
+
+    def table(self) -> str:
+        """Phase table, widest-phase first, for CLI output."""
+        if not self.totals:
+            return "(no phases timed)"
+        width = max(len(name) for name in self.totals)
+        lines = [f"{'phase':<{width}}  {'calls':>5}  {'seconds':>9}"]
+        for name, total in sorted(
+            self.totals.items(), key=lambda item: -item[1]
+        ):
+            lines.append(
+                f"{name:<{width}}  {self.counts[name]:>5}  {total:>9.4f}"
+            )
+        return "\n".join(lines)
+
+
+class ProfileCapture:
+    """Optional :mod:`cProfile` capture with a top-K hotspot report.
+
+    Disabled captures are free: :meth:`capture` becomes a no-op context
+    manager, so the hook can stay wired around engine fixpoints and
+    NNLS solves permanently.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.profile: Optional[cProfile.Profile] = None
+
+    @contextmanager
+    def capture(self) -> Iterator[None]:
+        """Profile the ``with`` body (accumulates across captures)."""
+        if not self.enabled:
+            yield
+            return
+        if self.profile is None:
+            self.profile = cProfile.Profile()
+        self.profile.enable()
+        try:
+            yield
+        finally:
+            self.profile.disable()
+
+    def hotspots(self, top_k: int = 15) -> List[Tuple[str, int, float, float]]:
+        """Top-K ``(site, calls, total_seconds, cumulative_seconds)`` rows.
+
+        Sorted by cumulative time; site is ``file:line(function)`` with
+        the path shortened to its last two components.
+        """
+        if self.profile is None:
+            return []
+        stats = pstats.Stats(self.profile, stream=io.StringIO())
+        rows: List[Tuple[str, int, float, float]] = []
+        for func, (cc, nc, tt, ct, _callers) in stats.stats.items():
+            filename, line, name = func
+            parts = filename.replace("\\", "/").split("/")
+            short = "/".join(parts[-2:]) if len(parts) > 1 else filename
+            rows.append((f"{short}:{line}({name})", nc, tt, ct))
+        rows.sort(key=lambda row: -row[3])
+        return rows[:top_k]
+
+    def hotspot_table(self, top_k: int = 15) -> str:
+        """Human-readable top-K hotspot table for ``spooftrack profile``."""
+        rows = self.hotspots(top_k)
+        if not rows:
+            return "(no profile captured)"
+        width = min(72, max(len(site) for site, *_ in rows))
+        lines = [
+            f"{'site':<{width}}  {'calls':>8}  {'self(s)':>8}  {'cum(s)':>8}"
+        ]
+        for site, calls, total, cumulative in rows:
+            lines.append(
+                f"{site[:width]:<{width}}  {calls:>8}  {total:>8.3f}  "
+                f"{cumulative:>8.3f}"
+            )
+        return "\n".join(lines)

@@ -214,3 +214,68 @@ class TestFaultOptions:
     def test_chaos_rejects_unknown_plan(self, capsys):
         assert main(["chaos", "--plan", "nonsense"]) == 2
         assert "fault plan" in capsys.readouterr().err
+
+
+class TestObservabilityOptions:
+    def test_trace_metrics_registered(self):
+        for command in ["track", "live", "chaos", "profile"]:
+            args = build_parser().parse_args(
+                [command, "--trace", "t.jsonl", "--metrics", "m.prom"]
+            )
+            assert args.trace == "t.jsonl"
+            assert args.metrics == "m.prom"
+            args = build_parser().parse_args([command])
+            assert args.trace is None and args.metrics is None
+
+    def test_track_writes_trace_and_metrics(self, tmp_path, capsys):
+        from repro.obs import build_tree, load_spans, parse_prometheus
+
+        trace = str(tmp_path / "t.jsonl")
+        metrics = str(tmp_path / "m.prom")
+        code = main(
+            [
+                "--seed", "2", "track", "--max-configs", "10",
+                "--trace", trace, "--metrics", metrics,
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert f"wrote trace {trace}" in captured.err
+        assert f"wrote metrics {metrics}" in captured.err
+        spans = load_spans(trace)
+        tree = build_tree(spans)
+        root = tree[""][0]
+        assert root["name"] == "track"
+        phases = {span["name"] for span in tree[root["span_id"]]}
+        assert phases == {
+            "schedule", "simulate", "measure", "cluster", "attribute",
+        }
+        # The metrics dump reconciles with the report the run printed.
+        parsed = parse_prometheus(open(metrics).read())
+        assert parsed["repro_pipeline_configs_deployed_total"] == 10
+        assert parsed["repro_engine_configs_requested_total"] >= 10
+
+    def test_profile_command(self, capsys):
+        code = main(
+            ["--seed", "2", "profile", "--max-configs", "6", "--top", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-phase wall time" in out
+        assert "top 3 hotspots" in out
+        assert "simulate" in out
+        assert "configurations deployed : 6" in out
+
+    def test_live_writes_metrics(self, tmp_path, capsys):
+        from repro.obs import parse_prometheus
+
+        metrics = str(tmp_path / "m.prom")
+        code = main(
+            [
+                "--seed", "2", "live", "--max-configs", "3", "--sources", "3",
+                "--min-configs", "1", "--quiet", "--metrics", metrics,
+            ]
+        )
+        assert code == 0
+        parsed = parse_prometheus(open(metrics).read())
+        assert parsed["repro_live_windows_total"] >= 1

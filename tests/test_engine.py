@@ -207,6 +207,51 @@ class TestSerialParallelEquivalence:
             assert a.catchments == b.catchments
 
 
+class TestWallTimeAccounting:
+    """``wall_time`` measures engine work, not consumer dawdling.
+
+    ``iter_simulate`` opens a timing window per result; a consumer that
+    sleeps between ``next()`` calls must not inflate ``wall_time`` (the
+    windows are disjoint and close before each yield).
+    """
+
+    SLEEP = 0.05
+
+    def _consume_slowly(self, engine, configs):
+        import time as _time
+
+        start = _time.perf_counter()
+        outcomes = []
+        for outcome in engine.iter_simulate(configs):
+            outcomes.append(outcome)
+            _time.sleep(self.SLEEP)
+        elapsed = _time.perf_counter() - start
+        return outcomes, elapsed
+
+    def test_serial_slow_consumer_not_charged(self, small_testbed):
+        configs = SpoofTracker(small_testbed).schedule[:8]
+        engine = SimulationEngine(small_testbed.simulator, spec=small_testbed.spec)
+        outcomes, elapsed = self._consume_slowly(engine, configs)
+        assert len(outcomes) == len(configs)
+        sleep_total = self.SLEEP * len(configs)
+        assert elapsed >= sleep_total
+        assert engine.stats.wall_time <= elapsed - 0.5 * sleep_total
+
+    def test_parallel_slow_consumer_not_charged(self, small_testbed):
+        configs = SpoofTracker(small_testbed).schedule[:8]
+        with SimulationEngine(
+            small_testbed.simulator, workers=2, spec=small_testbed.spec
+        ) as engine:
+            outcomes, elapsed = self._consume_slowly(engine, configs)
+            stats = engine.stats.copy()
+        assert len(outcomes) == len(configs)
+        sleep_total = self.SLEEP * len(configs)
+        assert elapsed >= sleep_total
+        assert stats.wall_time <= elapsed - 0.5 * sleep_total
+        # Queue waits are a subset of the wall windows by construction.
+        assert stats.queue_wait <= stats.wall_time + 1e-6
+
+
 class TestFaultContainment:
     """Injected faults never abort a batch and never change results."""
 
