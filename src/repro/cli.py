@@ -12,17 +12,26 @@ Subcommands:
   accuracy-vs-fault-rate table (``repro.faults``).
 * ``profile`` — run the pipeline under the observability layer's
   profiler and print per-phase timings plus a top-K hotspot table.
+* ``dash`` — ASCII live dashboard: render the observability event
+  stream, either attached to a served ``/events`` endpoint or from a
+  seeded local replay.
+* ``bench-check`` — compare fresh ``benchmarks/BENCH_*.json`` artifacts
+  against the recorded baseline history; non-zero exit on regression.
 * ``experiments`` — regenerate the EXPERIMENTS.md body from a fresh run.
 
 ``track``, ``live``, and ``chaos`` accept ``--trace PATH`` (JSONL span
-tree with deterministic span ids) and ``--metrics PATH``
-(Prometheus-format counter/gauge/histogram dump).
+tree with deterministic span ids), ``--metrics PATH``
+(Prometheus-format counter/gauge/histogram dump), ``--serve PORT``
+(threaded HTTP exporter: ``/metrics``, ``/healthz``, ``/readyz``,
+``/manifest``, ``/traces``, SSE ``/events``), and ``--log-json``
+(structured JSON-lines operational logging instead of bare stderr).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from dataclasses import replace
 from typing import List, Optional, Sequence
 
@@ -32,7 +41,14 @@ from .analysis.tables import table1, table2
 from .core.pipeline import SpoofTracker, TestbedSpec, build_testbed
 from .errors import FaultInjectionError
 from .faults import BUNDLED_PLANS, FaultInjector, load_fault_plan
-from .obs import Observability, Stopwatch, build_manifest
+from .obs import (
+    Logbook,
+    Observability,
+    ObsServer,
+    SloWatchdog,
+    Stopwatch,
+    build_manifest,
+)
 from .spoof.sources import PLACEMENT_DISTRIBUTIONS, make_placement
 from .topology.generator import TopologyParams
 
@@ -108,12 +124,102 @@ def _make_obs(
 ) -> Optional[Observability]:
     """An armed :class:`Observability` bundle, or None when not asked for.
 
-    Unarmed runs (no ``--trace``/``--metrics``/profiling) return None so
-    the pipeline's instrumentation guards stay on their no-op path.
+    Unarmed runs (no ``--trace``/``--metrics``/``--serve``/``--log-json``
+    /profiling) return None so the pipeline's instrumentation guards
+    stay on their no-op path.
     """
-    if not (getattr(args, "trace", None) or getattr(args, "metrics", None) or profile):
+    armed = (
+        getattr(args, "trace", None)
+        or getattr(args, "metrics", None)
+        or profile
+        or getattr(args, "serve", None) is not None
+        or getattr(args, "log_json", False)
+    )
+    if not armed:
         return None
-    return Observability.for_run(command, profile=profile)
+    obs = Observability.for_run(command, profile=profile)
+    if obs.logbook is not None:
+        obs.logbook.json_mode = bool(getattr(args, "log_json", False))
+    return obs
+
+
+def _logbook_for(
+    args: argparse.Namespace, obs: Optional[Observability]
+) -> Logbook:
+    """The run's logbook: the obs bundle's when armed, else a bare one.
+
+    Either way operational chatter flows through one leveled sink, and
+    ``--log-json`` switches it to structured JSON lines.
+    """
+    if obs is not None and obs.logbook is not None:
+        return obs.logbook
+    return Logbook(json_mode=bool(getattr(args, "log_json", False)))
+
+
+def _wire_faults(injector, obs: Optional[Observability], log: Logbook) -> None:
+    """Forward fired faults onto the bus (and the debug log) as they land."""
+    if injector is None:
+        return
+
+    def on_fault(kind: str, count: int) -> None:
+        if obs is not None and obs.bus is not None:
+            obs.bus.publish("fault", fault_kind=kind, count=count)
+        log.debug(f"fault fired: {kind} x{count}", event="fault", kind=kind)
+
+    injector.log.listeners.append(on_fault)
+
+
+def _start_server(
+    args: argparse.Namespace,
+    obs: Optional[Observability],
+    log: Logbook,
+    manifest=None,
+    health_source=None,
+):
+    """Start the ``--serve`` exporter (or return None when not asked for)."""
+    port = getattr(args, "serve", None)
+    if port is None or obs is None:
+        return None
+    watchdog = SloWatchdog(registry=obs.registry)
+    if obs.bus is not None:
+        obs.bus.attach(watchdog.observe)
+    server = ObsServer(
+        obs=obs,
+        manifest=manifest,
+        health_source=health_source,
+        watchdog=watchdog,
+        port=port,
+    )
+    server.start()
+    log.info(
+        f"serving observability on {server.url}",
+        event="serve",
+        port=server.port,
+    )
+    return server
+
+
+def _finish_server(
+    args: argparse.Namespace,
+    server,
+    obs: Optional[Observability],
+    log: Logbook,
+) -> None:
+    """Publish run completion, honour ``--serve-linger``, stop serving."""
+    if server is None:
+        return
+    if obs is not None and obs.bus is not None:
+        obs.bus.publish("report", command=getattr(args, "command", ""))
+    linger = float(getattr(args, "serve_linger", 0.0) or 0.0)
+    if linger > 0:
+        log.info(
+            f"run complete; serving {server.url} for {linger:g}s more",
+            event="serve_linger",
+        )
+        time.sleep(linger)
+    server.stop()
+    if obs is not None and obs.bus is not None:
+        obs.bus.close()
 
 
 def _manifest_for(
@@ -132,27 +238,51 @@ def _manifest_for(
     )
 
 
-def _export_obs(args: argparse.Namespace, obs: Optional[Observability]) -> None:
+def _export_obs(
+    args: argparse.Namespace,
+    obs: Optional[Observability],
+    log: Optional[Logbook] = None,
+) -> None:
     """Write ``--trace`` / ``--metrics`` artifacts and announce them."""
     if obs is None:
         return
+    log = log if log is not None else _logbook_for(args, obs)
     trace = getattr(args, "trace", None)
     if trace and obs.tracer is not None:
         obs.tracer.write_jsonl(trace)
-        print(f"wrote trace {trace}", file=sys.stderr)
+        log.info(f"wrote trace {trace}", event="export", path=trace)
     metrics = getattr(args, "metrics", None)
     if metrics and obs.registry is not None:
         obs.registry.write_prometheus(metrics)
-        print(f"wrote metrics {metrics}", file=sys.stderr)
+        log.info(f"wrote metrics {metrics}", event="export", path=metrics)
 
 
 def _cmd_track(args: argparse.Namespace) -> int:
     injector = _make_injector(args)
     obs = _make_obs(args, "track")
+    log = _logbook_for(args, obs)
+    _wire_faults(injector, obs, log)
+    manifest = _manifest_for(
+        args,
+        "track",
+        injector=injector,
+        max_configs=args.max_configs,
+        measured=args.measured,
+        distribution=args.distribution,
+        sources=args.sources,
+        split_threshold=args.split_threshold,
+    )
+    health = {"report": None}
+    server = _start_server(
+        args, obs, log, manifest=manifest,
+        health_source=lambda: health["report"],
+    )
     testbed = build_testbed(seed=args.seed, topology_params=SCALES[args.scale])
     tracker = SpoofTracker(
         testbed, workers=args.workers, injector=injector, obs=obs
     )
+    if server is not None:
+        server.set_ready()
     rng = random.Random(args.seed + 1)
     candidate_ases = sorted(testbed.topology.stubs or testbed.graph.ases)
     placement = make_placement(
@@ -167,17 +297,10 @@ def _cmd_track(args: argparse.Namespace) -> int:
         )
     finally:
         tracker.engine.close()
-    report.manifest = _manifest_for(
-        args,
-        "track",
-        injector=injector,
-        max_configs=args.max_configs,
-        measured=args.measured,
-        distribution=args.distribution,
-        sources=args.sources,
-        split_threshold=args.split_threshold,
-    )
-    _export_obs(args, obs)
+    report.manifest = manifest
+    health["report"] = report.resilience
+    _export_obs(args, obs, log)
+    _finish_server(args, server, obs, log)
     print(report.summary())
     true_sources = ", ".join(str(asn) for asn in sorted(placement.spoofing_ases))
     print(f"ground-truth source ASes: {true_sources}")
@@ -207,7 +330,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         max_configs=args.max_configs,
         measured=args.measured,
     )
-    _export_obs(args, obs)
+    _export_obs(args, obs, _logbook_for(args, obs))
     assert obs.timer is not None and obs.profiler is not None
     print("# per-phase wall time")
     print(obs.timer.table())
@@ -280,15 +403,19 @@ def _cmd_live(args: argparse.Namespace) -> int:
 
     obs = None
     injector = None
+    server = None
+    log = _logbook_for(args, None)
     if args.resume:
         # Resumed services rebuild mid-run state; the premeasure span and
         # controller counters are gone, so tracing starts fresh runs only.
         service = load_checkpoint(args.resume, workers=args.workers)
     else:
         obs = _make_obs(args, "live")
+        log = _logbook_for(args, obs)
         injector = _make_injector(args)
+        _wire_faults(injector, obs, log)
         if args.checkpoint_every > 0 and not args.checkpoint:
-            print("--checkpoint-every needs --checkpoint PATH", file=sys.stderr)
+            log.error("--checkpoint-every needs --checkpoint PATH")
             return 2
         scenario = ReplayScenario(
             seed=args.seed,
@@ -310,28 +437,7 @@ def _cmd_live(args: argparse.Namespace) -> int:
         )
         params = replace(SCALES[args.scale], seed=args.seed)
         spec = TestbedSpec(seed=args.seed, topology_params=params)
-        service = LiveTracebackService(
-            scenario=scenario,
-            spec=spec,
-            workers=args.workers,
-            injector=injector,
-            obs=obs,
-        )
-    on_window = None
-    if not args.quiet:
-
-        def on_window(stats):
-            print(render_window(stats), file=sys.stderr)
-
-    try:
-        report = service.run(on_window=on_window)
-        if args.checkpoint and args.checkpoint_every == 0:
-            service.checkpoint(args.checkpoint)
-            print(f"wrote final checkpoint {args.checkpoint}", file=sys.stderr)
-    finally:
-        service.close()
-    if not args.resume:
-        report.manifest = _manifest_for(
+        manifest = _manifest_for(
             args,
             "live",
             injector=injector,
@@ -341,7 +447,53 @@ def _cmd_live(args: argparse.Namespace) -> int:
             window_minutes=args.window_minutes,
             adaptive=not args.in_order,
         )
-    _export_obs(args, obs)
+        # The exporter comes up before the (slow) premeasure so /healthz
+        # answers from the first moment of the run; /readyz flips once
+        # the service finishes constructing.
+        holder = {"service": None}
+
+        def _health():
+            svc = holder["service"]
+            return svc._resilience_report() if svc is not None else None
+
+        server = _start_server(
+            args, obs, log, manifest=manifest, health_source=_health
+        )
+        service = LiveTracebackService(
+            scenario=scenario,
+            spec=spec,
+            workers=args.workers,
+            injector=injector,
+            obs=obs,
+        )
+        holder["service"] = service
+        if server is not None:
+            server.set_ready()
+    on_window = None
+    if not args.quiet:
+
+        def on_window(stats):
+            log.info(
+                render_window(stats),
+                event="window",
+                window=stats.window_index,
+            )
+
+    try:
+        report = service.run(on_window=on_window)
+        if args.checkpoint and args.checkpoint_every == 0:
+            service.checkpoint(args.checkpoint)
+            log.info(
+                f"wrote final checkpoint {args.checkpoint}",
+                event="checkpoint",
+                path=args.checkpoint,
+            )
+    finally:
+        service.close()
+    if not args.resume:
+        report.manifest = manifest
+    _export_obs(args, obs, log)
+    _finish_server(args, server, obs, log)
     print(report.summary())
     print()
     print(render_window_table(report.windows, every=args.table_every))
@@ -370,16 +522,28 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     # One bundle spans the whole sweep: span ordinals keep the repeated
     # pipeline phases distinct, and counters accumulate across levels.
     obs = _make_obs(args, "chaos")
+    log = _logbook_for(args, obs)
+    health = {"report": None}
+    server = _start_server(
+        args, obs, log,
+        manifest=_manifest_for(
+            args, "chaos", plan=args.plan, levels=list(args.levels)
+        ),
+        health_source=lambda: health["report"],
+    )
+    if server is not None:
+        server.set_ready()
     testbed = build_testbed(seed=args.seed, topology_params=SCALES[args.scale])
     rng = random.Random(args.seed + 1)
     candidate_ases = sorted(testbed.topology.stubs or testbed.graph.ases)
     placement = make_placement(
         args.distribution, candidate_ases, args.sources, rng
     )
-    print(
+    log.info(
         f"# chaos sweep: plan {base_plan.name!r} at levels "
         f"{', '.join(f'{level:g}' for level in args.levels)}",
-        file=sys.stderr,
+        event="chaos_sweep",
+        plan=base_plan.name,
     )
     header = (
         f"{'level':>6} {'faults':>7} {'retries':>8} {'degraded':>9} "
@@ -391,6 +555,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     worst_violations = 0
     for level in args.levels:
         injector = FaultInjector(base_plan.scaled(level))
+        _wire_faults(injector, obs, log)
         tracker = SpoofTracker(
             testbed, workers=args.workers, injector=injector, obs=obs
         )
@@ -404,6 +569,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             tracker.engine.close()
         resilience = report.resilience
         assert resilience is not None
+        health["report"] = resilience
         quality = report.localization.evaluate_against(placement)
         worst_violations = max(worst_violations, len(resilience.violations))
         print(
@@ -413,12 +579,99 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             f"{quality.recall:>7.0%} {quality.precision:>10.0%} "
             f"{len(resilience.violations):>11d}"
         )
-    _export_obs(args, obs)
+    _export_obs(args, obs, log)
+    _finish_server(args, server, obs, log)
     if worst_violations:
         print(f"\n{worst_violations} invariant violations — see above")
         return 1
     print("\nall invariants held at every fault level")
     return 0
+
+
+def _iter_sse(stream):
+    """Yield event dicts from a server-sent-events byte stream."""
+    import json
+
+    data_lines: List[str] = []
+    for raw in stream:
+        line = raw.decode("utf-8").rstrip("\r\n")
+        if line.startswith("data:"):
+            data_lines.append(line[len("data:"):].lstrip())
+        elif not line and data_lines:
+            yield json.loads("\n".join(data_lines))
+            data_lines = []
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    from .analysis.dashboard import Dashboard
+
+    dash = Dashboard()
+    if args.url:
+        import urllib.error
+        import urllib.request
+
+        url = args.url.rstrip("/") + "/events?replay=1"
+        if args.limit:
+            url += f"&limit={args.limit}"
+        try:
+            with urllib.request.urlopen(url, timeout=args.timeout) as response:
+                for event in _iter_sse(response):
+                    dash.ingest(event)
+                    if args.every and dash.events_seen % args.every == 0:
+                        print(dash.render())
+                        print()
+        except (urllib.error.URLError, OSError) as exc:
+            print(f"cannot read {url}: {exc}", file=sys.stderr)
+            return 2
+        print(dash.render())
+        return 0
+
+    # No --url: drive a seeded local replay and render its event stream.
+    from .live import LiveTracebackService, ReplayScenario
+
+    obs = Observability.for_run("dash")
+    scenario = ReplayScenario(
+        seed=args.seed,
+        distribution=args.distribution,
+        num_sources=args.sources,
+        max_configs=args.max_configs,
+    )
+    params = replace(SCALES[args.scale], seed=args.seed)
+    spec = TestbedSpec(seed=args.seed, topology_params=params)
+    service = LiveTracebackService(
+        scenario=scenario, spec=spec, workers=args.workers, obs=obs
+    )
+    try:
+        service.run()
+    finally:
+        service.close()
+    for event in obs.bus.history():
+        dash.ingest(event)
+    print(dash.render())
+    return 0
+
+
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    from .obs import benchgate
+
+    if args.update:
+        path = benchgate.write_history(args.bench_dir, args.history)
+        print(f"wrote bench history {path}")
+        return 0
+    try:
+        result = benchgate.check_benchmarks(
+            args.bench_dir, args.history, tolerance=args.tolerance
+        )
+    except FileNotFoundError as exc:
+        print(
+            f"no bench history ({exc}); record one with "
+            "`spooftrack bench-check --update`",
+            file=sys.stderr,
+        )
+        return 2
+    for line in result.summary_lines():
+        print(line)
+    return 0 if result.passed else 1
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -487,6 +740,29 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             metavar="PATH",
             help="write a Prometheus-format metrics dump",
+        )
+        sub.add_argument(
+            "--serve",
+            type=int,
+            default=None,
+            metavar="PORT",
+            help=(
+                "serve live telemetry over HTTP on this port (0 = pick "
+                "free): /metrics /healthz /readyz /manifest /traces "
+                "/events (SSE)"
+            ),
+        )
+        sub.add_argument(
+            "--serve-linger",
+            type=float,
+            default=0.0,
+            metavar="SECONDS",
+            help="keep serving this long after the run finishes",
+        )
+        sub.add_argument(
+            "--log-json",
+            action="store_true",
+            help="structured JSON-lines operational logs on stderr",
         )
 
     def add_fault_plan(sub: argparse.ArgumentParser) -> None:
@@ -703,6 +979,79 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_run_options(dataset)
     dataset.set_defaults(func=_cmd_dataset)
+
+    dash = subparsers.add_parser(
+        "dash",
+        help="ASCII live dashboard over the observability event stream",
+    )
+    dash.add_argument(
+        "--url",
+        default=None,
+        help="attach to a served exporter (e.g. http://127.0.0.1:8787); "
+        "without it a seeded local replay is rendered",
+    )
+    dash.add_argument(
+        "--limit",
+        type=int,
+        default=0,
+        help="with --url: stop after this many events (0 = until close)",
+    )
+    dash.add_argument(
+        "--every",
+        type=int,
+        default=0,
+        help="with --url: re-render after every N events (0 = only at end)",
+    )
+    dash.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        help="with --url: socket timeout in seconds",
+    )
+    dash.add_argument(
+        "--distribution",
+        choices=PLACEMENT_DISTRIBUTIONS,
+        default="pareto",
+        help="replay mode: spoofing-source placement",
+    )
+    dash.add_argument(
+        "--sources", type=int, default=10,
+        help="replay mode: number of sources",
+    )
+    dash.add_argument(
+        "--max-configs", type=int, default=6,
+        help="replay mode: truncate the schedule",
+    )
+    add_workers(dash)
+    dash.set_defaults(func=_cmd_dash)
+
+    bench_check = subparsers.add_parser(
+        "bench-check",
+        help="gate fresh BENCH_*.json artifacts against recorded history",
+    )
+    bench_check.add_argument(
+        "--bench-dir",
+        default="benchmarks",
+        help="directory holding BENCH_*.json artifacts",
+    )
+    bench_check.add_argument(
+        "--history",
+        default=None,
+        metavar="PATH",
+        help="baseline file (default: <bench-dir>/BENCH_history.json)",
+    )
+    bench_check.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="allowed fractional slowdown per metric (default 0.15)",
+    )
+    bench_check.add_argument(
+        "--update",
+        action="store_true",
+        help="record the current artifacts as the new baseline",
+    )
+    bench_check.set_defaults(func=_cmd_bench_check)
 
     experiments = subparsers.add_parser(
         "experiments", help="regenerate EXPERIMENTS.md figure sections"

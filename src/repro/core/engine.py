@@ -371,6 +371,7 @@ class SimulationEngine:
         injector: Optional[FaultInjector] = None,
         retry_policy: Optional[RetryPolicy] = None,
         breaker_threshold: int = 2,
+        bus=None,
     ) -> None:
         if workers < 1:
             raise SimulationError("workers must be at least 1")
@@ -382,6 +383,7 @@ class SimulationEngine:
         self.warm_start = warm_start
         self.cache_size = cache_size
         self.injector = injector
+        self.bus = bus
         self.retry_policy = retry_policy or RetryPolicy()
         self.breaker = CircuitBreaker(breaker_threshold)
         self.stats = EngineStats()
@@ -429,6 +431,7 @@ class SimulationEngine:
         (``workers == 1``) or fan out over the worker pool.
         """
         start = time.perf_counter()
+        before = self.stats.copy() if self.bus is not None else None
         self.stats.configs_requested += len(configs)
 
         # Partition into hits and first-occurrence misses.
@@ -457,7 +460,26 @@ class SimulationEngine:
                 self._run_parallel(misses, by_key)
 
         self.stats.wall_time += time.perf_counter() - start
+        if before is not None:
+            self._publish_batch(before)
         return [by_key[key] for key in keys]
+
+    def _publish_batch(self, before: "EngineStats") -> None:
+        """Publish one ``engine_batch`` bus event for the stats delta
+        accumulated since ``before`` (counter fields are deterministic;
+        wall time rides along as a measured ``_seconds`` field)."""
+        delta = self.stats.since(before)
+        self.bus.publish(
+            "engine_batch",
+            configs_requested=delta.configs_requested,
+            configs_simulated=delta.configs_simulated,
+            cache_hits=delta.cache_hits,
+            warm_starts=delta.warm_starts,
+            passes_saved=delta.passes_saved,
+            worker_failures=delta.worker_failures,
+            retries=delta.retries,
+            wall_seconds=round(delta.wall_time, 6),
+        )
 
     def iter_simulate(self, configs: Sequence[AnnouncementConfig]):
         """Yield outcomes in schedule order *as they are computed*.
@@ -476,6 +498,7 @@ class SimulationEngine:
             return
 
         start = time.perf_counter()
+        before = self.stats.copy() if self.bus is not None else None
         self.stats.configs_requested += len(configs)
         by_key: Dict[ConfigKey, RoutingOutcome] = {}
         misses: List[Tuple[ConfigKey, AnnouncementConfig]] = []
@@ -562,6 +585,8 @@ class SimulationEngine:
                     self._cache_put(key, outcome)
                     by_key[key] = outcome
             yield by_key[key]
+        if before is not None:
+            self._publish_batch(before)
 
     def _fault_ordinal(self, key: ConfigKey) -> int:
         """Stable per-engine ordinal of a distinct simulation (chaos

@@ -354,6 +354,7 @@ class SpoofTracker:
             spec=testbed.spec,
             injector=injector,
             retry_policy=retry_policy,
+            bus=self.obs.bus,
         )
         self.injector = (
             injector if injector is not None else self.engine.injector
@@ -594,6 +595,16 @@ class SpoofTracker:
                 "repro_pipeline_degraded_steps_total",
                 help="steps with partial (degraded) catchments",
             ).inc(sum(1 for degraded in degraded_by_step if degraded))
+
+        if obs.bus is not None:
+            obs.bus.publish(
+                "pipeline",
+                steps=len(steps),
+                degraded_steps=sum(1 for d in degraded_by_step if d),
+                clusters=len(clusters),
+                sources=len(universe),
+                localized=localization is not None,
+            )
 
         return TrackerReport(
             universe=universe,

@@ -20,7 +20,7 @@ import random
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..errors import InjectedFault
 from ..types import Catchment, LinkId
@@ -56,13 +56,24 @@ class FaultAction:
 
 @dataclass
 class FaultLog:
-    """Counts of fired faults by kind (main-process accounting)."""
+    """Counts of fired faults by kind (main-process accounting).
+
+    ``listeners`` (excluded from equality/serialization) are invoked as
+    ``listener(kind, count)`` on every record — the hook the CLI uses to
+    forward fault events onto the observability bus without the faults
+    layer importing :mod:`repro.obs`.
+    """
 
     by_kind: Dict[str, int] = field(default_factory=dict)
+    listeners: List[Callable[[str, int], None]] = field(
+        default_factory=list, repr=False, compare=False
+    )
 
     def record(self, kind: str, count: int = 1) -> None:
         """Account ``count`` fired faults of ``kind``."""
         self.by_kind[kind] = self.by_kind.get(kind, 0) + count
+        for listener in self.listeners:
+            listener(kind, count)
 
     @property
     def total(self) -> int:

@@ -51,9 +51,12 @@ def save_checkpoint(service: "LiveTracebackService", path: str) -> str:
     to ``<path>.bak`` beforehand, so at every instant at least one intact
     checkpoint exists on disk.
     """
+    from ..obs import ensure_parent_dir
+
     payload = service.as_serializable()
     body = _canonical_json(payload)
     document = {"checksum": content_checksum(body), "payload": payload}
+    ensure_parent_dir(path)
     if os.path.exists(path):
         os.replace(path, backup_path(path))
     return atomic_write_text(path, _canonical_json(document))

@@ -90,6 +90,7 @@ class AdaptiveController:
         timeline: Optional[CampaignTimeline] = None,
         policy: Optional[ControllerPolicy] = None,
         registry=None,
+        bus=None,
     ) -> None:
         if len(schedule) != len(catchment_maps):
             raise LiveServiceError(
@@ -103,6 +104,7 @@ class AdaptiveController:
         self.timeline = timeline or CampaignTimeline()
         self.policy = policy or ControllerPolicy()
         self.registry = registry
+        self.bus = bus
         self.remaining: List[int] = list(range(len(self.schedule)))
         self.configs_consumed = 0
         self.dwell_minutes = 0.0
@@ -170,6 +172,13 @@ class AdaptiveController:
                 help="configurations selected by the controller, by phase",
                 labels={"phase": self.schedule[choice].phase},
             ).inc()
+        if self.bus is not None:
+            self.bus.publish(
+                "select",
+                schedule_index=choice,
+                phase=self.schedule[choice].phase,
+                configs_consumed=self.configs_consumed,
+            )
         return choice
 
     def should_stop(self, attributor: LiveAttributor) -> Optional[str]:

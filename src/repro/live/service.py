@@ -323,6 +323,7 @@ class LiveTracebackService:
             workers=workers,
             spec=self.spec,
             injector=injector,
+            bus=self.obs.bus,
         )
         # Pre-attack measurement: catchments of every scheduled
         # configuration, streamed through the engine in schedule order.
@@ -372,6 +373,7 @@ class LiveTracebackService:
             self.timeline,
             policy,
             registry=self.obs.registry,
+            bus=self.obs.bus,
         )
 
         self.event_log: List[Event] = []
@@ -531,11 +533,18 @@ class LiveTracebackService:
         stats = self._window_snapshot(index)
         self.window_stats.append(stats)
         self.window_index += 1
+        window_seconds = time.perf_counter() - window_start
         if self.obs.registry is not None:
             self.obs.registry.histogram(
                 "repro_live_window_seconds",
                 help="wall seconds to process one observation window",
-            ).observe(time.perf_counter() - window_start)
+            ).observe(window_seconds)
+        if self.obs.bus is not None:
+            self.obs.bus.publish(
+                "window",
+                duration_seconds=round(window_seconds, 6),
+                **asdict(stats),
+            )
         if on_window is not None:
             on_window(stats)
 
@@ -655,6 +664,14 @@ class LiveTracebackService:
                 help="route-churn strikes, by remeasurement decision",
                 labels={"remeasured": "yes" if remeasured else "no"},
             ).inc()
+        if self.obs.bus is not None:
+            self.obs.bus.publish(
+                "churn",
+                window=self.window_index,
+                drift=drift,
+                misplaced=round(misplaced, 9),
+                remeasured=remeasured,
+            )
 
     def _remeasure(self) -> None:
         """Re-measure every catchment map against the drifted Internet."""
@@ -789,11 +806,20 @@ class LiveTracebackService:
         ordinal = self._checkpoint_ordinal
         self._checkpoint_ordinal += 1
         result = save_checkpoint(self, path)
+        corrupted = False
         if self.injector is not None and self.injector.should_corrupt_checkpoint(
             ordinal
         ):
             self.injector.corrupt_file(path, ordinal)
             self.checkpoint_corruptions += 1
+            corrupted = True
+        if self.obs.bus is not None:
+            self.obs.bus.publish(
+                "checkpoint",
+                ordinal=ordinal,
+                window=self.window_index,
+                corrupted=corrupted,
+            )
         return result
 
     def as_serializable(self) -> Dict:

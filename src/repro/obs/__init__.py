@@ -1,4 +1,4 @@
-"""repro.obs — end-to-end tracing, metrics, and profiling.
+"""repro.obs — end-to-end tracing, metrics, profiling, and serving.
 
 The observability layer every other subsystem reports through:
 
@@ -9,8 +9,18 @@ The observability layer every other subsystem reports through:
   durations as data only) exported as JSONL.
 * :class:`PhaseTimer` / :class:`ProfileCapture` / :class:`Stopwatch` —
   monotonic timing and optional :mod:`cProfile` capture.
-* :class:`RunManifest` — frozen run inputs + environment, attached to
-  reports.
+* :class:`RunManifest` — frozen run inputs + redacted environment,
+  attached to reports.
+* :class:`EventBus` — publish/subscribe spine carrying window, fault,
+  phase, and engine events to live consumers.
+* :class:`Logbook` — leveled, span-correlated structured logging
+  (human or JSON-lines rendering).
+* :class:`SloWatchdog` — declarative SLO rules riding the bus, tripping
+  breach counters and flipping readiness.
+* :class:`ObsServer` — threaded HTTP exporter: ``/metrics``,
+  ``/healthz``, ``/readyz``, ``/manifest``, ``/traces``, SSE ``/events``.
+* :mod:`~repro.obs.benchgate` — benchmark regression gate behind
+  ``spooftrack bench-check``.
 * :class:`Observability` — the bundle threaded through
   :class:`~repro.core.pipeline.SpoofTracker`, the engine, the
   measurement campaign, and the live runtime.
@@ -22,22 +32,63 @@ guard on ``obs is None`` / ``registry is None``, so a run without
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Optional
 
-from .manifest import RunManifest, build_manifest, git_describe, library_versions
-from .metrics import (
+
+def ensure_parent_dir(path: str) -> str:
+    """Create the parent directory of ``path`` (and ancestors) if absent.
+
+    Every artifact writer (traces, metrics, manifests, checkpoints,
+    bench history) funnels through this, so ``--trace runs/a/b/t.jsonl``
+    works without a prior ``mkdir -p``.  ``os.makedirs(exist_ok=True)``
+    is atomic enough for concurrent writers: a racing sibling creating
+    the same directory is not an error.  Returns ``path`` unchanged.
+    """
+    parent = os.path.dirname(os.path.abspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    return path
+
+
+from .bus import (  # noqa: E402 (ensure_parent_dir must exist first)
+    EventBus,
+    Subscription,
+    strip_measured,
+)
+from .logbook import LogRecord, Logbook  # noqa: E402
+from .manifest import (  # noqa: E402
+    RunManifest,
+    build_manifest,
+    capture_environment,
+    git_describe,
+    library_versions,
+)
+from .metrics import (  # noqa: E402
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     parse_prometheus,
+    record_build_info,
     record_engine_stats,
     record_fault_log,
 )
-from .profiling import PhaseTimer, ProfileCapture, Stopwatch
-from .tracing import (
+from .profiling import PhaseTimer, ProfileCapture, Stopwatch  # noqa: E402
+from .slo import DEFAULT_SLOS, SloRule, SloWatchdog  # noqa: E402
+from .server import ObsServer  # noqa: E402
+from .benchgate import (  # noqa: E402
+    BenchCheckResult,
+    Regression,
+    check_benchmarks,
+    default_history_path,
+    load_artifacts,
+    load_history,
+    write_history,
+)
+from .tracing import (  # noqa: E402
     Span,
     Tracer,
     build_tree,
@@ -47,27 +98,46 @@ from .tracing import (
 )
 
 __all__ = [
+    "BenchCheckResult",
     "Counter",
+    "DEFAULT_SLOS",
+    "EventBus",
     "Gauge",
     "Histogram",
+    "LogRecord",
+    "Logbook",
     "MetricsRegistry",
+    "ObsServer",
     "Observability",
     "PhaseTimer",
     "ProfileCapture",
+    "Regression",
     "RunManifest",
+    "SloRule",
+    "SloWatchdog",
     "Span",
     "Stopwatch",
+    "Subscription",
     "Tracer",
     "build_manifest",
     "build_tree",
+    "capture_environment",
+    "check_benchmarks",
+    "default_history_path",
+    "ensure_parent_dir",
     "git_describe",
     "library_versions",
+    "load_artifacts",
+    "load_history",
     "load_spans",
     "parse_prometheus",
     "phase_durations",
+    "record_build_info",
     "record_engine_stats",
     "record_fault_log",
     "span_tree_signature",
+    "strip_measured",
+    "write_history",
 ]
 
 
@@ -84,18 +154,24 @@ class Observability:
     tracer: Optional[Tracer] = None
     profiler: Optional[ProfileCapture] = None
     timer: Optional[PhaseTimer] = field(default=None)
+    bus: Optional[EventBus] = None
+    logbook: Optional[Logbook] = None
 
     @classmethod
     def for_run(
         cls, run_name: str = "run", profile: bool = False
     ) -> "Observability":
-        """Registry + tracer (+ optional profiler) for one run."""
+        """Registry + tracer + bus (+ optional profiler) for one run."""
         registry = MetricsRegistry()
+        record_build_info(registry)
+        tracer = Tracer(run_name)
         return cls(
             registry=registry,
-            tracer=Tracer(run_name),
+            tracer=tracer,
             profiler=ProfileCapture(enabled=profile),
             timer=PhaseTimer(registry),
+            bus=EventBus(),
+            logbook=Logbook(tracer=tracer),
         )
 
     def span(self, name: str, **attrs):
@@ -110,6 +186,8 @@ class Observability:
 
         Yields the open :class:`~repro.obs.tracing.Span` (None when
         tracing is unarmed) so callers can attach result attributes.
+        On close the completed phase is published to the bus as a
+        ``phase`` event (duration carried as a measured field).
         """
         with self.span(name, **attrs) as span:
             if self.timer is not None:
@@ -117,6 +195,13 @@ class Observability:
                     yield span
             else:
                 yield span
+        if self.bus is not None:
+            payload = dict(attrs)
+            if span is not None:
+                payload.update(span.attrs)
+                payload["span"] = span.span_id
+                payload["duration_seconds"] = span.duration_seconds
+            self.bus.publish("phase", name=name, **payload)
 
     def capture(self):
         """Profiler capture when profiling, else a no-op context manager."""

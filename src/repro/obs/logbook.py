@@ -1,0 +1,136 @@
+"""Structured, span-correlated logging for the CLI and the runtimes.
+
+The CLI's operational chatter used to be ad-hoc ``print(..., file=
+sys.stderr)`` calls — fine for a human at a terminal, useless for the
+ROADMAP's production service, where operators grep structured logs and
+correlate them with traces.  A :class:`Logbook` renders every record in
+one of two modes:
+
+* **human** (default): exactly the message text, to stderr — the CLI's
+  existing output is preserved byte for byte.
+* **json** (``--log-json``): one JSON object per line with the level,
+  message, event name, structured fields, and — when a tracer is armed —
+  the id of the innermost open span, so every log line lands inside the
+  span tree that produced it.
+
+Levels follow the conventional ladder; records below the logbook's
+threshold are dropped before rendering.  The last
+:data:`RECORD_LIMIT` records are retained in memory for tests and the
+``/events`` surface.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TextIO
+
+#: Level names to severities (stdlib ``logging`` numbering).
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+#: In-memory records retained per logbook.
+RECORD_LIMIT = 10_000
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One structured log record."""
+
+    level: str
+    message: str
+    event: str = ""
+    span_id: str = ""
+    fields: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe dump (field order fixed by sort_keys at render)."""
+        record: Dict[str, object] = {
+            "level": self.level,
+            "msg": self.message,
+        }
+        if self.event:
+            record["event"] = self.event
+        if self.span_id:
+            record["span"] = self.span_id
+        record.update(self.fields)
+        return record
+
+
+class Logbook:
+    """Leveled log sink with human and JSON-lines rendering.
+
+    Args:
+        stream: where rendered records go (default ``sys.stderr``).
+        json_mode: render JSON lines instead of bare messages.
+        level: minimum level rendered (records below are still counted).
+        tracer: optional :class:`~repro.obs.tracing.Tracer`; when given,
+            each record carries the innermost open span's id.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        json_mode: bool = False,
+        level: str = "info",
+        tracer=None,
+    ) -> None:
+        if level not in LEVELS:
+            raise ValueError(f"unknown log level {level!r}")
+        self._stream = stream
+        self.json_mode = json_mode
+        self.level = level
+        self.tracer = tracer
+        self.records: List[LogRecord] = []
+        self.suppressed = 0
+
+    @property
+    def stream(self) -> TextIO:
+        # Resolved lazily so capsys/StringIO redirection in tests works.
+        return self._stream if self._stream is not None else sys.stderr
+
+    def _span_id(self) -> str:
+        if self.tracer is None:
+            return ""
+        # After Tracer.finish() the open-span stack is empty; records
+        # logged post-run simply carry no span correlation.
+        if not getattr(self.tracer, "_stack", None):
+            return ""
+        return self.tracer.current.span_id
+
+    def log(self, level: str, message: str, *, event: str = "", **fields) -> None:
+        """Record one entry; render it when at or above the threshold."""
+        if level not in LEVELS:
+            raise ValueError(f"unknown log level {level!r}")
+        record = LogRecord(
+            level=level,
+            message=message,
+            event=event,
+            span_id=self._span_id(),
+            fields=fields,
+        )
+        self.records.append(record)
+        if len(self.records) > RECORD_LIMIT:
+            del self.records[0]
+        if LEVELS[level] < LEVELS[self.level]:
+            self.suppressed += 1
+            return
+        if self.json_mode:
+            print(
+                json.dumps(record.as_dict(), sort_keys=True, default=str),
+                file=self.stream,
+            )
+        else:
+            print(message, file=self.stream)
+
+    def debug(self, message: str, *, event: str = "", **fields) -> None:
+        self.log("debug", message, event=event, **fields)
+
+    def info(self, message: str, *, event: str = "", **fields) -> None:
+        self.log("info", message, event=event, **fields)
+
+    def warning(self, message: str, *, event: str = "", **fields) -> None:
+        self.log("warning", message, event=event, **fields)
+
+    def error(self, message: str, *, event: str = "", **fields) -> None:
+        self.log("error", message, event=event, **fields)

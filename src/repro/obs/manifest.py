@@ -10,11 +10,56 @@ trace exports), so every artifact this repo emits is self-describing.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import subprocess
 import sys
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Mapping, Optional
+
+#: Env-var name substrings (case-insensitive) whose values are redacted.
+REDACT_MARKERS = ("KEY", "TOKEN", "SECRET", "PASSWORD", "CREDENTIAL")
+
+#: Replacement recorded for redacted values.
+REDACTED = "[redacted]"
+
+#: Env vars worth freezing in a manifest: the knobs that change how this
+#: process computes, not the whole environment (which would be noisy and
+#: a bigger leak surface).
+CAPTURED_ENV_PREFIXES = (
+    "PYTHON",
+    "REPRO_",
+    "SPOOFTRACK_",
+    "OMP_",
+    "OPENBLAS_",
+    "MKL_",
+    "NUMEXPR_",
+)
+
+
+def capture_environment(
+    environ: Optional[Mapping[str, str]] = None,
+) -> Dict[str, str]:
+    """Relevant environment variables, credentials redacted.
+
+    Captures variables whose names start with one of
+    :data:`CAPTURED_ENV_PREFIXES`; any variable whose name contains a
+    :data:`REDACT_MARKERS` substring (``KEY``/``TOKEN``/``SECRET``/...)
+    keeps its name but records :data:`REDACTED` as the value, so
+    ``/manifest`` and exported manifests can never leak credentials even
+    when something like ``PYTHON_API_KEY`` matches a captured prefix.
+    """
+    source = os.environ if environ is None else environ
+    captured: Dict[str, str] = {}
+    for name in sorted(source):
+        if not name.startswith(CAPTURED_ENV_PREFIXES):
+            continue
+        upper = name.upper()
+        if any(marker in upper for marker in REDACT_MARKERS):
+            captured[name] = REDACTED
+        else:
+            captured[name] = source[name]
+    return captured
 
 
 def git_describe(cwd: Optional[str] = None) -> str:
@@ -66,6 +111,8 @@ class RunManifest:
         platform: OS/architecture identifier.
         repro_version: this package's version.
         libraries: numeric-stack library versions.
+        environment: captured env vars (see :func:`capture_environment`;
+            credential-shaped values arrive already redacted).
     """
 
     command: str = ""
@@ -79,6 +126,7 @@ class RunManifest:
     platform: str = ""
     repro_version: str = ""
     libraries: Dict[str, str] = field(default_factory=dict)
+    environment: Dict[str, str] = field(default_factory=dict)
 
     def as_dict(self) -> Dict:
         """JSON-safe dump."""
@@ -89,6 +137,9 @@ class RunManifest:
 
     def write(self, path: str) -> str:
         """Write the manifest JSON to ``path``; returns the path."""
+        from . import ensure_parent_dir
+
+        ensure_parent_dir(path)
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.to_json())
             handle.write("\n")
@@ -118,4 +169,5 @@ def build_manifest(
         platform=platform.platform(),
         repro_version=__version__,
         libraries=library_versions(),
+        environment=capture_environment(),
     )

@@ -55,10 +55,19 @@ def _labelset(labels: Optional[Mapping[str, str]]) -> LabelSet:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus exposition-format label escaping (backslash, quote, newline)."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _render_labels(labels: LabelSet) -> str:
     if not labels:
         return ""
-    body = ",".join(f'{key}="{value}"' for key, value in labels)
+    body = ",".join(
+        f'{key}="{_escape_label_value(value)}"' for key, value in labels
+    )
     return "{" + body + "}"
 
 
@@ -332,12 +341,18 @@ class MetricsRegistry:
 
     def write_prometheus(self, path: str) -> str:
         """Write the Prometheus text dump to ``path``; returns the path."""
+        from . import ensure_parent_dir
+
+        ensure_parent_dir(path)
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.render_prometheus())
         return path
 
     def write_json(self, path: str) -> str:
         """Write the JSON snapshot to ``path``; returns the path."""
+        from . import ensure_parent_dir
+
+        ensure_parent_dir(path)
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(self.snapshot(), handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -402,6 +417,29 @@ def record_engine_stats(registry: MetricsRegistry, stats) -> None:
         "repro_engine_redundant_parent_sims",
         help="physical warm-start parent re-simulations beyond the logical count",
     ).add(stats.redundant_parent_sims)
+
+
+def record_build_info(registry: MetricsRegistry) -> None:
+    """Set the ``repro_build_info`` gauge on ``registry``.
+
+    The standard info-metric idiom: constant value 1 with the build
+    identity carried in labels, so every scrape is attributable to the
+    package version, interpreter, and platform that produced it.
+    """
+    import platform as platform_module
+    import sys
+
+    from .. import __version__
+
+    registry.gauge(
+        "repro_build_info",
+        help="build identity of the serving process (value is always 1)",
+        labels={
+            "version": __version__,
+            "python": sys.version.split()[0],
+            "platform": platform_module.platform(),
+        },
+    ).set(1)
 
 
 def record_fault_log(registry: MetricsRegistry, log_by_kind: Mapping[str, int]) -> None:

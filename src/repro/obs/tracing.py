@@ -139,7 +139,10 @@ class Tracer:
 
         Closes the root first so the file always holds a full tree.
         """
+        from . import ensure_parent_dir
+
         self.finish()
+        ensure_parent_dir(path)
         with open(path, "w", encoding="utf-8") as handle:
             for record in self.records():
                 handle.write(json.dumps(record, sort_keys=True))

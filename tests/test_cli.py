@@ -279,3 +279,131 @@ class TestObservabilityOptions:
         assert code == 0
         parsed = parse_prometheus(open(metrics).read())
         assert parsed["repro_live_windows_total"] >= 1
+
+    def test_outputs_create_parent_dirs(self, tmp_path, capsys):
+        trace = str(tmp_path / "deep" / "dirs" / "t.jsonl")
+        metrics = str(tmp_path / "other" / "m.prom")
+        code = main(
+            [
+                "--seed", "2", "track", "--max-configs", "8",
+                "--trace", trace, "--metrics", metrics,
+            ]
+        )
+        assert code == 0
+        import os
+
+        assert os.path.exists(trace) and os.path.exists(metrics)
+
+
+class TestServingOptions:
+    def test_serve_and_log_json_registered(self):
+        for command in ["track", "live", "chaos", "profile"]:
+            args = build_parser().parse_args(
+                [command, "--serve", "0", "--log-json"]
+            )
+            assert args.serve == 0
+            assert args.log_json
+            args = build_parser().parse_args([command])
+            assert args.serve is None and not args.log_json
+
+    def test_track_serve_smoke(self, capsys):
+        code = main(
+            [
+                "--seed", "2", "track", "--max-configs", "8",
+                "--sources", "1", "--serve", "0",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "serving observability on http://127.0.0.1:" in captured.err
+        assert "configurations deployed : 8" in captured.out
+
+    def test_live_serve_smoke(self, capsys):
+        code = main(
+            [
+                "--seed", "2", "live", "--max-configs", "3", "--sources", "3",
+                "--min-configs", "1", "--quiet", "--serve", "0",
+            ]
+        )
+        assert code == 0
+        assert "serving observability on" in capsys.readouterr().err
+
+    def test_log_json_structures_stderr(self, tmp_path, capsys):
+        import json
+
+        metrics = str(tmp_path / "m.prom")
+        code = main(
+            [
+                "--seed", "2", "track", "--max-configs", "8",
+                "--log-json", "--metrics", metrics,
+            ]
+        )
+        assert code == 0
+        records = [
+            json.loads(line)
+            for line in capsys.readouterr().err.splitlines()
+            if line.strip()
+        ]
+        exports = [r for r in records if r.get("event") == "export"]
+        assert any(r["path"] == metrics for r in exports)
+        assert all(r["level"] == "info" for r in exports)
+        assert all(r["msg"].startswith("wrote ") for r in exports)
+
+
+class TestDashCommand:
+    def test_dash_replay_renders(self, capsys):
+        code = main(
+            ["--seed", "2", "dash", "--sources", "3", "--max-configs", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "spooftrack dash" in out
+        assert "window" in out
+        assert "controller:" in out
+        assert "engine:" in out
+
+    def test_dash_unreachable_url(self, capsys):
+        code = main(
+            ["dash", "--url", "http://127.0.0.1:9", "--timeout", "0.5"]
+        )
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestBenchCheckCommand:
+    @staticmethod
+    def _write_artifact(directory, seconds):
+        import json
+
+        (directory / "BENCH_x.json").write_text(
+            json.dumps({"sim_seconds": seconds})
+        )
+
+    def test_update_then_pass(self, tmp_path, capsys):
+        self._write_artifact(tmp_path, 1.0)
+        assert main(["bench-check", "--bench-dir", str(tmp_path), "--update"]) == 0
+        assert "wrote bench history" in capsys.readouterr().out
+        assert main(["bench-check", "--bench-dir", str(tmp_path)]) == 0
+        assert "bench-check: OK" in capsys.readouterr().out
+
+    def test_regression_fails(self, tmp_path, capsys):
+        self._write_artifact(tmp_path, 1.0)
+        assert main(["bench-check", "--bench-dir", str(tmp_path), "--update"]) == 0
+        capsys.readouterr()
+        self._write_artifact(tmp_path, 1.2)  # 20% slower than baseline
+        assert main(["bench-check", "--bench-dir", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION BENCH_x.json:sim_seconds" in out
+        assert "bench-check: FAIL" in out
+        # A looser tolerance lets the same artifacts through.
+        assert main(
+            ["bench-check", "--bench-dir", str(tmp_path), "--tolerance", "0.3"]
+        ) == 0
+
+    def test_missing_history_hints(self, tmp_path, capsys):
+        assert main(["bench-check", "--bench-dir", str(tmp_path)]) == 2
+        assert "--update" in capsys.readouterr().err
+
+    def test_committed_history_passes(self, capsys):
+        assert main(["bench-check"]) == 0
+        assert "bench-check: OK" in capsys.readouterr().out

@@ -126,6 +126,48 @@ class TestMergeAndRender:
         assert parse_prometheus(open(prom).read())["a_total"] == 1
         assert json.load(open(blob))["counters"][0]["name"] == "a_total"
 
+    def test_roundtrip_escapes_label_values(self):
+        registry = MetricsRegistry()
+        awkward = 'quote:" backslash:\\ newline:\nend'
+        registry.counter("odd_total", labels={"detail": awkward}).inc(2)
+        text = registry.render_prometheus()
+        # The exposition text itself must stay one sample per line.
+        sample_lines = [l for l in text.splitlines() if not l.startswith("#")]
+        assert len(sample_lines) == 1
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        parsed = parse_prometheus(text)
+        (series,) = parsed
+        assert parsed[series] == 2
+        assert series == list(registry.counter_totals())[0]
+
+    def test_roundtrip_preserves_nan_and_inf(self):
+        import math
+
+        registry = MetricsRegistry()
+        registry.gauge("hot").set(float("inf"))
+        registry.gauge("cold").set(float("-inf"))
+        registry.gauge("undefined").set(float("nan"))
+        parsed = parse_prometheus(registry.render_prometheus())
+        assert parsed["hot"] == float("inf")
+        assert parsed["cold"] == float("-inf")
+        assert math.isnan(parsed["undefined"])
+
+    def test_merge_after_parse_matches_direct_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n_total", labels={"who": 'worker "0"'}).inc(2)
+        b.counter("n_total", labels={"who": 'worker "0"'}).inc(3)
+        b.counter("n_total", labels={"who": "worker\n1"}).inc(1)
+        merged = MetricsRegistry()
+        merged.merge(a.snapshot())
+        merged.merge(b.snapshot())
+        summed = {}
+        for registry in (a, b):
+            for series, value in parse_prometheus(
+                registry.render_prometheus()
+            ).items():
+                summed[series] = summed.get(series, 0.0) + value
+        assert summed == parse_prometheus(merged.render_prometheus())
+
 
 class TestEngineRecording:
     def test_record_engine_stats_reconciles(self):
