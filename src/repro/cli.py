@@ -434,6 +434,7 @@ def _cmd_live(args: argparse.Namespace) -> int:
             checkpoint_every=args.checkpoint_every,
             checkpoint_path=args.checkpoint or "",
             packets_per_window=args.packets_per_window,
+            nnls_stride=args.nnls_stride,
         )
         params = replace(SCALES[args.scale], seed=args.seed)
         spec = TestbedSpec(seed=args.seed, topology_params=params)
@@ -660,7 +661,10 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
         return 0
     try:
         result = benchgate.check_benchmarks(
-            args.bench_dir, args.history, tolerance=args.tolerance
+            args.bench_dir,
+            args.history,
+            tolerance=args.tolerance,
+            absolute_slack=args.absolute_slack,
         )
     except FileNotFoundError as exc:
         print(
@@ -901,6 +905,12 @@ def build_parser() -> argparse.ArgumentParser:
         help=">0 switches to packet-sampled traffic at this rate",
     )
     live.add_argument(
+        "--nnls-stride",
+        type=int,
+        default=1,
+        help="re-solve attribution NNLS once per N windows (1 = every window)",
+    )
+    live.add_argument(
         "--checkpoint", default=None, help="checkpoint JSON path"
     )
     live.add_argument(
@@ -1045,6 +1055,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.15,
         help="allowed fractional slowdown per metric (default 0.15)",
+    )
+    bench_check.add_argument(
+        "--absolute-slack",
+        type=float,
+        default=0.005,
+        metavar="SECONDS",
+        help="ignore deltas below this many seconds (default 0.005)",
     )
     bench_check.add_argument(
         "--update",

@@ -10,6 +10,17 @@ has been observed so far.  Because refinement only ever splits clusters,
 the rolling partition tightens monotonically; because per-configuration
 volumes are normalized by *offered* volume, dropped windows shrink
 confidence but never bias the estimates.
+
+Re-solving after every window is wasteful once windows arrive faster than
+the estimates meaningfully move: each solve is a full NNLS over every
+observed configuration.  The ``solve_stride`` knob batches window-only
+updates — the solver runs once per ``solve_stride`` newly accumulated
+windows instead of per window, stacking their volume evidence into a
+single solve.  Structural changes (a new configuration applied, a
+remeasurement) always invalidate the cache, and ``attribution(force=True)``
+always reflects everything observed, so final results are identical to
+stride 1 — only intermediate reads may lag by up to ``stride - 1``
+windows.
 """
 
 from __future__ import annotations
@@ -62,16 +73,33 @@ class LiveAttributor:
     Args:
         universe: sources under analysis (the paper's §IV-d rule: ASes
             covered by the first anycast configuration).
+        solve_stride: NNLS re-solves happen at most once per this many
+            newly accumulated windows (1 = re-solve on every read after
+            every window, the historical behaviour).  Cluster-structure
+            changes always trigger a fresh solve on the next read.
     """
 
-    def __init__(self, universe: Iterable[ASN]) -> None:
+    def __init__(
+        self, universe: Iterable[ASN], solve_stride: int = 1
+    ) -> None:
         self.universe: FrozenSet[ASN] = frozenset(universe)
         if not self.universe:
             raise LiveServiceError("attributor universe must be non-empty")
+        if solve_stride < 1:
+            raise LiveServiceError("solve_stride must be at least 1")
+        self.solve_stride = solve_stride
         self.state = ClusterState(self.universe)
         self.observations: List[ConfigObservations] = []
         self._cached: Optional[LocalizationResult] = None
-        self._dirty = True
+        #: Clusters changed (config applied / remeasurement): next read
+        #: must re-solve regardless of the stride.
+        self._structure_dirty = True
+        #: Windows accumulated since the last solve; flushed once it
+        #: reaches ``solve_stride``.
+        self._pending_windows = 0
+        #: Number of NNLS solves actually run (observability for the
+        #: stride's effect; deterministic for a given read pattern).
+        self.solves = 0
 
     # ------------------------------------------------------------------
     # Event intake
@@ -104,7 +132,7 @@ class LiveAttributor:
                 catchments=restricted,
             )
         )
-        self._dirty = True
+        self._structure_dirty = True
         return splits
 
     def observe(
@@ -124,7 +152,7 @@ class LiveAttributor:
             current.volumes[link] = current.volumes.get(link, 0.0) + volume
         current.offered_volume += offered_volume
         current.windows += 1
-        self._dirty = True
+        self._pending_windows += 1
 
     # ------------------------------------------------------------------
     # Rolling outputs
@@ -134,19 +162,29 @@ class LiveAttributor:
         """Current partition, largest cluster first."""
         return self.state.clusters()
 
-    def attribution(self) -> Optional[LocalizationResult]:
+    def attribution(self, force: bool = False) -> Optional[LocalizationResult]:
         """Re-solve the volume system over everything observed so far.
 
         Only configurations with at least one accepted window contribute
         rows (a configuration whose every window was dropped carries no
         evidence).  Returns None until some traffic has been observed.
+
+        With ``solve_stride > 1``, window-only updates are batched: the
+        cached result is served until ``solve_stride`` new windows have
+        accumulated, then one solve stacks them all.  ``force=True``
+        (used for final reports) always folds every pending window in.
         """
-        if not self._dirty:
+        if not (
+            force
+            or self._structure_dirty
+            or self._pending_windows >= self.solve_stride
+        ):
             return self._cached
         observed = [obs for obs in self.observations if obs.offered_volume > 0]
         if not observed:
             self._cached = None
-            self._dirty = False
+            self._structure_dirty = False
+            self._pending_windows = 0
             return None
         localizer = SpoofLocalizer(
             self.state.clusters(), [obs.catchments for obs in observed]
@@ -154,7 +192,9 @@ class LiveAttributor:
         self._cached = localizer.localize(
             [obs.normalized_volumes() for obs in observed]
         )
-        self._dirty = False
+        self._structure_dirty = False
+        self._pending_windows = 0
+        self.solves += 1
         return self._cached
 
     def attribution_entropy(self) -> float:
@@ -227,7 +267,7 @@ class LiveAttributor:
             }
             obs.catchments = restricted
             self.state.refine_with_catchments(restricted)
-        self._dirty = True
+        self._structure_dirty = True
 
     def as_serializable(self) -> Dict:
         """JSON-safe dump of the attributor's full state."""
@@ -253,9 +293,11 @@ class LiveAttributor:
         }
 
     @classmethod
-    def from_serializable(cls, payload: Mapping) -> "LiveAttributor":
+    def from_serializable(
+        cls, payload: Mapping, solve_stride: int = 1
+    ) -> "LiveAttributor":
         """Rebuild an attributor dumped by :meth:`as_serializable`."""
-        attributor = cls(payload["universe"])
+        attributor = cls(payload["universe"], solve_stride=solve_stride)
         attributor.state = ClusterState.from_serializable(payload["clusters"])
         for entry in payload["observations"]:
             attributor.observations.append(

@@ -123,6 +123,12 @@ class ReplayScenario:
         packets_per_window: >0 switches to packet-sampled traffic with
             this many packets per window (noisy mode; volumes are then
             byte counts and conservation is per delivered packet).
+        nnls_stride: re-solve the attribution NNLS at most once per this
+            many accumulated windows (1 = every window, the historical
+            behaviour; see
+            :class:`~repro.live.attributor.LiveAttributor`).  Final
+            reports always force a full solve, so end-of-run results are
+            stride-independent.
     """
 
     seed: int = 0
@@ -144,6 +150,7 @@ class ReplayScenario:
     checkpoint_every: int = 0
     checkpoint_path: str = ""
     packets_per_window: int = 0
+    nnls_stride: int = 1
 
     def __post_init__(self) -> None:
         if self.distribution not in PLACEMENT_DISTRIBUTIONS:
@@ -165,6 +172,8 @@ class ReplayScenario:
             raise LiveServiceError("counts cannot be negative")
         if self.checkpoint_every > 0 and not self.checkpoint_path:
             raise LiveServiceError("periodic checkpoints need a path")
+        if self.nnls_stride < 1:
+            raise LiveServiceError("nnls_stride must be at least 1")
         last_window = -1
         for entry in self.churn_events:
             window, drift = entry
@@ -359,7 +368,9 @@ class LiveTracebackService:
             self.scenario.queue_capacity, self.scenario.drop_policy
         )
         self.window = DecayingVolumeWindow(self.scenario.half_life_windows)
-        self.attributor = LiveAttributor(self.universe)
+        self.attributor = LiveAttributor(
+            self.universe, solve_stride=self.scenario.nnls_stride
+        )
         policy = ControllerPolicy(
             adaptive=self.scenario.adaptive,
             min_configs=min(self.scenario.min_configs, len(self.schedule)),
@@ -782,7 +793,7 @@ class LiveTracebackService:
             windows=list(self.window_stats),
             ingest=self.queue.stats.copy(),
             run_stats=self.run_stats(),
-            localization=self.attributor.attribution(),
+            localization=self.attributor.attribution(force=True),
             placement=self.placement,
             engine_stats=self.engine.stats.copy(),
             resilience=self._resilience_report(),
@@ -913,7 +924,7 @@ class LiveTracebackService:
         service.clock = SimClock(payload["clock"])
         service.controller.restore(payload["controller"])
         service.attributor = LiveAttributor.from_serializable(
-            payload["attributor"]
+            payload["attributor"], solve_stride=scenario.nnls_stride
         )
         ingest = payload["ingest"]
         service.queue.stats = IngestStats(**ingest["stats"])

@@ -13,6 +13,21 @@ measurements.  Derived percentages and deterministic counts are carried
 in the artifacts for humans but are either redundant or exact, so gating
 them would double-count or add noise.
 
+Two refinements keep the gate honest on real timers:
+
+* **Absolute slack** — relative tolerance alone makes sub-millisecond
+  baselines (e.g. ``cached_replay_seconds: 0.0003``) flap on scheduler
+  noise, and a 0.0 baseline turns *any* positive reading into an
+  infinite-ratio regression.  A delta below ``absolute_slack`` seconds
+  never regresses, and a zero baseline regresses only when the fresh
+  reading itself exceeds the slack.
+* **CPU-aware parallel gate** — artifacts that carry both
+  ``serial_*_seconds`` and ``parallel*_seconds`` measurements are
+  additionally checked for "parallel must not lose to serial", but only
+  when the artifact was recorded with at least two cores
+  (``cpu_count >= 2``); single-core recordings make the comparison
+  meaningless, so it is skipped and the skip is reported.
+
 ``spooftrack bench-check`` is the CLI face; CI runs it against the
 committed history so a PR that slows any benchmark >15% (default) fails.
 """
@@ -22,6 +37,7 @@ from __future__ import annotations
 import glob
 import json
 import os
+import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -29,10 +45,18 @@ from typing import Dict, List, Optional, Tuple
 #: below 0.20 so a genuine 20% slowdown always trips the gate.
 DEFAULT_TOLERANCE = 0.15
 
+#: Default absolute slack in seconds: deltas below this are timer noise
+#: regardless of the relative tolerance.
+DEFAULT_ABSOLUTE_SLACK = 0.005
+
 #: Baseline file name inside the benchmarks directory.
 HISTORY_BASENAME = "BENCH_history.json"
 
 HISTORY_VERSION = 1
+
+#: ``parallel*_seconds`` metric paired against its serial counterpart,
+#: e.g. ``parallel2_cold_seconds`` vs ``serial_cold_seconds``.
+_PARALLEL_METRIC = re.compile(r"^parallel\d*_(.+)_seconds$")
 
 
 def _is_gated_metric(name: str, value) -> bool:
@@ -43,9 +67,9 @@ def _is_gated_metric(name: str, value) -> bool:
     )
 
 
-def load_artifacts(directory: str) -> Dict[str, Dict[str, float]]:
-    """Gated metrics per ``BENCH_*.json`` artifact (history excluded)."""
-    artifacts: Dict[str, Dict[str, float]] = {}
+def load_artifact_records(directory: str) -> Dict[str, Dict]:
+    """Full JSON records per ``BENCH_*.json`` artifact (history excluded)."""
+    records: Dict[str, Dict] = {}
     pattern = os.path.join(directory, "BENCH_*.json")
     for path in sorted(glob.glob(pattern)):
         name = os.path.basename(path)
@@ -55,13 +79,20 @@ def load_artifacts(directory: str) -> Dict[str, Dict[str, float]]:
             record = json.load(handle)
         if not isinstance(record, dict):
             continue
-        metrics = {
+        records[name] = record
+    return records
+
+
+def load_artifacts(directory: str) -> Dict[str, Dict[str, float]]:
+    """Gated metrics per ``BENCH_*.json`` artifact (history excluded)."""
+    return {
+        name: {
             key: float(value)
             for key, value in record.items()
             if _is_gated_metric(key, value)
         }
-        artifacts[name] = metrics
-    return artifacts
+        for name, record in load_artifact_records(directory).items()
+    }
 
 
 def default_history_path(directory: str) -> str:
@@ -113,16 +144,31 @@ class Regression:
     def ratio(self) -> float:
         return self.current / self.baseline if self.baseline else float("inf")
 
+    def describe(self) -> str:
+        """Human rendering; avoids an ``inf%`` against a zero baseline."""
+        if self.baseline > 0:
+            change = f"({(self.ratio - 1.0) * 100.0:+.1f}%)"
+        else:
+            change = f"(+{(self.current - self.baseline) * 1000.0:.2f}ms)"
+        return (
+            f"{self.artifact}:{self.metric} "
+            f"{self.baseline:.6f}s -> {self.current:.6f}s {change}"
+        )
+
 
 @dataclass
 class BenchCheckResult:
     """Outcome of one bench-check run."""
 
     tolerance: float
+    absolute_slack: float = DEFAULT_ABSOLUTE_SLACK
     checked: int = 0
     regressions: List[Regression] = field(default_factory=list)
     missing: List[str] = field(default_factory=list)
     new_metrics: List[str] = field(default_factory=list)
+    #: Comparisons that could not be made meaningfully (e.g. the
+    #: parallel-vs-serial gate on a single-core recording), with reasons.
+    skipped: List[str] = field(default_factory=list)
 
     @property
     def passed(self) -> bool:
@@ -131,40 +177,127 @@ class BenchCheckResult:
     def summary_lines(self) -> List[str]:
         lines = [
             f"bench-check: {self.checked} gated metrics, "
-            f"tolerance {self.tolerance:.0%}"
+            f"tolerance {self.tolerance:.0%}, "
+            f"slack {self.absolute_slack * 1000.0:g}ms"
         ]
         for reg in self.regressions:
-            lines.append(
-                f"  REGRESSION {reg.artifact}:{reg.metric} "
-                f"{reg.baseline:.6f}s -> {reg.current:.6f}s "
-                f"({(reg.ratio - 1.0) * 100.0:+.1f}%)"
-            )
+            lines.append(f"  REGRESSION {reg.describe()}")
         for name in self.missing:
             lines.append(f"  missing from fresh artifacts: {name}")
         for name in self.new_metrics:
             lines.append(f"  new metric (no baseline yet): {name}")
+        for reason in self.skipped:
+            lines.append(f"  skipped: {reason}")
         lines.append("bench-check: FAIL" if not self.passed else "bench-check: OK")
         return lines
+
+
+def _regresses(
+    baseline: float, value: float, tolerance: float, absolute_slack: float
+) -> bool:
+    """Regression predicate with the absolute-slack floor.
+
+    * The delta must exceed ``absolute_slack`` seconds — anything smaller
+      is timer noise at any ratio (this also covers sub-ms baselines).
+    * Past the floor: a positive baseline regresses on the relative
+      tolerance; a zero/non-positive baseline (a metric that used to be
+      unmeasurably fast) regresses outright — the reading itself already
+      exceeds the slack.
+    """
+    if value - baseline <= absolute_slack:
+        return False
+    if baseline > 0:
+        return value > baseline * (1.0 + tolerance)
+    return True
+
+
+def _check_parallel_vs_serial(
+    records: Dict[str, Dict],
+    tolerance: float,
+    absolute_slack: float,
+    result: BenchCheckResult,
+) -> None:
+    """Gate "parallel must not lose to serial" inside each artifact.
+
+    Pairs every ``parallel*_<case>_seconds`` metric with its
+    ``serial_<case>_seconds`` counterpart in the same artifact.  The
+    comparison only means something when the artifact was recorded on a
+    multi-core machine, so recordings with ``cpu_count < 2`` (or without
+    a recorded cpu_count) are skipped, and the skip is surfaced in the
+    summary rather than silently passing.
+    """
+    for artifact, record in sorted(records.items()):
+        pairs: List[Tuple[str, str]] = []
+        for metric, value in sorted(record.items()):
+            if not _is_gated_metric(metric, value):
+                continue
+            match = _PARALLEL_METRIC.match(metric)
+            if match is None:
+                continue
+            serial_metric = f"serial_{match.group(1)}_seconds"
+            if _is_gated_metric(serial_metric, record.get(serial_metric)):
+                pairs.append((metric, serial_metric))
+        if not pairs:
+            continue
+        cpu_count = record.get("cpu_count")
+        if not isinstance(cpu_count, int) or cpu_count < 2:
+            result.skipped.append(
+                f"{artifact}: parallel-vs-serial gate "
+                f"(recorded with cpu_count={cpu_count!r}; need >= 2 cores)"
+            )
+            continue
+        for metric, serial_metric in pairs:
+            result.checked += 1
+            serial = float(record[serial_metric])
+            parallel = float(record[metric])
+            if _regresses(serial, parallel, tolerance, absolute_slack):
+                result.regressions.append(
+                    Regression(
+                        artifact,
+                        f"{metric} vs {serial_metric}",
+                        serial,
+                        parallel,
+                    )
+                )
 
 
 def check_benchmarks(
     directory: str,
     history_path: Optional[str] = None,
     tolerance: float = DEFAULT_TOLERANCE,
+    absolute_slack: float = DEFAULT_ABSOLUTE_SLACK,
 ) -> BenchCheckResult:
     """Compare fresh artifacts in ``directory`` against the baseline.
 
-    A metric regresses when ``current > baseline * (1 + tolerance)``.
+    A metric regresses when it exceeds the baseline by more than
+    ``absolute_slack`` seconds *and* ``baseline * (1 + tolerance)`` (a
+    zero baseline needs only the slack excess; see :func:`_regresses`).
     Improvements always pass; metrics present only on one side are
     reported but do not fail the gate (new benchmarks must be allowed to
     land, and CI compares committed artifacts against committed history).
+
+    Artifacts exposing paired ``serial_*`` / ``parallel*_*`` timings are
+    additionally gated on parallel not losing to serial — skipped, with a
+    note, when the artifact was recorded on fewer than two cores.
     """
     if tolerance < 0:
         raise ValueError("tolerance cannot be negative")
+    if absolute_slack < 0:
+        raise ValueError("absolute_slack cannot be negative")
     path = history_path or default_history_path(directory)
     baselines = load_history(path)
-    current = load_artifacts(directory)
-    result = BenchCheckResult(tolerance=tolerance)
+    records = load_artifact_records(directory)
+    current = {
+        name: {
+            key: float(value)
+            for key, value in record.items()
+            if _is_gated_metric(key, value)
+        }
+        for name, record in records.items()
+    }
+    result = BenchCheckResult(
+        tolerance=tolerance, absolute_slack=absolute_slack
+    )
     for artifact, metrics in sorted(baselines.items()):
         fresh = current.get(artifact)
         if fresh is None:
@@ -176,7 +309,7 @@ def check_benchmarks(
                 continue
             result.checked += 1
             value = fresh[metric]
-            if baseline > 0 and value > baseline * (1.0 + tolerance):
+            if _regresses(baseline, value, tolerance, absolute_slack):
                 result.regressions.append(
                     Regression(artifact, metric, baseline, value)
                 )
@@ -187,4 +320,5 @@ def check_benchmarks(
                 result.new_metrics.append(f"{artifact}:{metric}")
             elif metric not in known:
                 result.new_metrics.append(f"{artifact}:{metric}")
+    _check_parallel_vs_serial(records, tolerance, absolute_slack, result)
     return result

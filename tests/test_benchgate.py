@@ -1,0 +1,199 @@
+"""Edge-case tests for the benchmark gate's slack floor and CPU gating.
+
+The relative-tolerance gate alone flaps on real timers: sub-millisecond
+baselines regress on scheduler noise, and zero baselines turn any
+positive reading into an infinite-ratio failure.  These tests pin the
+absolute-slack floor, the zero-baseline path, and the CPU-aware
+parallel-vs-serial gate introduced alongside the indexed simulation
+core.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.benchgate import (
+    DEFAULT_ABSOLUTE_SLACK,
+    Regression,
+    check_benchmarks,
+    write_history,
+)
+
+
+def _write_bench(tmp_path, name, metrics):
+    (tmp_path / name).write_text(json.dumps(metrics, indent=2))
+
+
+def _baseline_then_fresh(tmp_path, baseline, fresh):
+    _write_bench(tmp_path, "BENCH_a.json", baseline)
+    write_history(str(tmp_path))
+    _write_bench(tmp_path, "BENCH_a.json", fresh)
+
+
+class TestAbsoluteSlack:
+    def test_sub_slack_delta_passes_at_any_ratio(self, tmp_path):
+        # 13x slower, but the delta is ~3.6ms — timer noise, not a regression.
+        _baseline_then_fresh(
+            tmp_path, {"replay_seconds": 0.0003}, {"replay_seconds": 0.004}
+        )
+        assert check_benchmarks(str(tmp_path)).passed
+
+    def test_above_slack_and_tolerance_fails(self, tmp_path):
+        _baseline_then_fresh(
+            tmp_path, {"sim_seconds": 0.5}, {"sim_seconds": 0.7}
+        )
+        result = check_benchmarks(str(tmp_path))
+        assert not result.passed
+        assert result.regressions[0].metric == "sim_seconds"
+
+    def test_above_slack_within_tolerance_passes(self, tmp_path):
+        # 10% slower with a 100ms delta: past the slack floor but inside
+        # the 15% relative tolerance.
+        _baseline_then_fresh(
+            tmp_path, {"sim_seconds": 1.0}, {"sim_seconds": 1.1}
+        )
+        assert check_benchmarks(str(tmp_path)).passed
+
+    def test_slack_is_configurable(self, tmp_path):
+        _baseline_then_fresh(
+            tmp_path, {"replay_seconds": 0.0003}, {"replay_seconds": 0.004}
+        )
+        strict = check_benchmarks(str(tmp_path), absolute_slack=0.0)
+        assert not strict.passed
+        assert "slack 0ms" in strict.summary_lines()[0]
+
+    def test_negative_slack_rejected(self, tmp_path):
+        _write_bench(tmp_path, "BENCH_a.json", {"x_seconds": 1.0})
+        write_history(str(tmp_path))
+        with pytest.raises(ValueError):
+            check_benchmarks(str(tmp_path), absolute_slack=-0.001)
+
+    def test_zero_baseline_tiny_reading_passes(self, tmp_path):
+        # A metric that used to round to 0.0 and now measures 2ms is fine.
+        _baseline_then_fresh(
+            tmp_path, {"replay_seconds": 0.0}, {"replay_seconds": 0.002}
+        )
+        assert check_benchmarks(str(tmp_path)).passed
+
+    def test_zero_baseline_large_reading_fails_readably(self, tmp_path):
+        _baseline_then_fresh(
+            tmp_path, {"replay_seconds": 0.0}, {"replay_seconds": 0.25}
+        )
+        result = check_benchmarks(str(tmp_path))
+        assert not result.passed
+        described = result.regressions[0].describe()
+        assert "inf" not in described
+        assert "+250.00ms" in described
+
+    def test_describe_relative_for_positive_baseline(self):
+        reg = Regression("BENCH_a.json", "x_seconds", 1.0, 1.5)
+        assert "(+50.0%)" in reg.describe()
+
+
+class TestParallelVsSerialGate:
+    RECORD = {
+        "serial_cold_seconds": 0.2,
+        "parallel2_cold_seconds": 0.5,
+    }
+
+    def test_skipped_on_single_core_with_reason(self, tmp_path):
+        _write_bench(
+            tmp_path, "BENCH_e.json", dict(self.RECORD, cpu_count=1)
+        )
+        write_history(str(tmp_path))
+        result = check_benchmarks(str(tmp_path))
+        assert result.passed  # parallel losing is expected on one core
+        assert any(
+            "parallel-vs-serial" in reason and "cpu_count=1" in reason
+            for reason in result.skipped
+        )
+        assert any(
+            "skipped:" in line for line in result.summary_lines()
+        )
+
+    def test_skipped_when_cpu_count_missing(self, tmp_path):
+        _write_bench(tmp_path, "BENCH_e.json", dict(self.RECORD))
+        write_history(str(tmp_path))
+        result = check_benchmarks(str(tmp_path))
+        assert result.passed
+        assert any("cpu_count=None" in reason for reason in result.skipped)
+
+    def test_slower_parallel_regresses_on_multicore(self, tmp_path):
+        _write_bench(
+            tmp_path, "BENCH_e.json", dict(self.RECORD, cpu_count=8)
+        )
+        write_history(str(tmp_path))
+        result = check_benchmarks(str(tmp_path))
+        assert not result.passed
+        metrics = [reg.metric for reg in result.regressions]
+        assert "parallel2_cold_seconds vs serial_cold_seconds" in metrics
+
+    def test_faster_parallel_passes_on_multicore(self, tmp_path):
+        _write_bench(
+            tmp_path,
+            "BENCH_e.json",
+            {
+                "serial_cold_seconds": 0.5,
+                "parallel2_cold_seconds": 0.3,
+                "cpu_count": 8,
+            },
+        )
+        write_history(str(tmp_path))
+        result = check_benchmarks(str(tmp_path))
+        assert result.passed
+        assert not result.skipped
+
+    def test_unpaired_parallel_metric_is_ignored(self, tmp_path):
+        _write_bench(
+            tmp_path,
+            "BENCH_e.json",
+            {"parallel2_cold_seconds": 0.4, "cpu_count": 8},
+        )
+        write_history(str(tmp_path))
+        result = check_benchmarks(str(tmp_path))
+        assert result.passed
+        assert not result.skipped  # nothing to pair, nothing to report
+
+
+class TestCliAbsoluteSlack:
+    def test_cli_slack_flag(self, tmp_path, capsys):
+        _write_bench(tmp_path, "BENCH_a.json", {"replay_seconds": 0.0003})
+        assert (
+            main(["bench-check", "--bench-dir", str(tmp_path), "--update"])
+            == 0
+        )
+        capsys.readouterr()
+        _write_bench(tmp_path, "BENCH_a.json", {"replay_seconds": 0.004})
+        # Default slack absorbs the sub-5ms delta...
+        assert main(["bench-check", "--bench-dir", str(tmp_path)]) == 0
+        assert "bench-check: OK" in capsys.readouterr().out
+        # ...an explicit zero slack restores the strict relative gate.
+        assert (
+            main(
+                [
+                    "bench-check",
+                    "--bench-dir",
+                    str(tmp_path),
+                    "--absolute-slack",
+                    "0",
+                ]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "bench-check: FAIL" in out
+
+    def test_committed_artifacts_report_single_core_skip_or_pass(self, capsys):
+        # The committed BENCH_engine.json was recorded on this repo's CI
+        # container; whatever its core count, bench-check must pass and
+        # must never silently drop the parallel comparison.
+        assert main(["bench-check"]) == 0
+        out = capsys.readouterr().out
+        assert ("skipped:" in out) or ("vs serial" not in out)
+
+    def test_default_slack_constant(self):
+        assert DEFAULT_ABSOLUTE_SLACK == pytest.approx(0.005)

@@ -206,6 +206,32 @@ class TestSerialParallelEquivalence:
             assert a.routes == b.routes
             assert a.catchments == b.catchments
 
+    def test_explicit_dispatch_batch_is_bit_identical(self, small_testbed):
+        configs = SpoofTracker(small_testbed).schedule[:10]
+        plain = SimulationEngine(
+            small_testbed.simulator, workers=1
+        ).simulate_many(configs)
+        for batch in (1, 3, 64):  # per-task, mid, one-batch-takes-all
+            with SimulationEngine(
+                small_testbed.simulator,
+                workers=2,
+                spec=small_testbed.spec,
+                dispatch_batch=batch,
+            ) as engine:
+                fanned = engine.simulate_many(configs)
+                assert engine.stats.configs_simulated == len(configs)
+            for a, b in zip(plain, fanned):
+                assert a.routes == b.routes
+                assert a.catchments == b.catchments
+
+    def test_invalid_dispatch_batch_rejected(self, small_testbed):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            SimulationEngine(
+                small_testbed.simulator, workers=2, dispatch_batch=0
+            )
+
 
 class TestWallTimeAccounting:
     """``wall_time`` measures engine work, not consumer dawdling.
