@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Multi-tenant fleet replay: many attacks, one deterministic runtime.
+
+A transit provider defends many customer origin networks at once; this
+example runs the paper's traceback for a whole campaign in one process.
+A frozen `FleetSpec` expands into per-tenant testbeds and per-attack
+shards with derived seeds, a weighted fair-share scheduler multiplexes
+them over shared per-tenant engines, and a scripted event stream kills
+one shard mid-replay to show crash containment and checkpoint resume.
+The punchline is determinism: the kill/resume run and an undisturbed
+rerun produce identical per-shard attribution digests.
+
+Run:  python examples/fleet_replay.py
+"""
+
+import tempfile
+
+from repro.analysis.fleet import render_fleet_table
+from repro.fleet import (
+    CRASH,
+    FleetEvent,
+    FleetRuntime,
+    FleetSpec,
+    scripted_stream,
+)
+from repro.topology import TopologyParams
+
+SPEC = FleetSpec(
+    seed=11,
+    tenants=2,
+    attacks_per_tenant=2,
+    max_configs=4,
+    num_sources=8,
+    checkpoint_every=2,
+    quotas=(("tenant-00", 2.0),),  # tenant-00 pays for double share
+    num_links=5,
+    num_vantages=12,
+    num_probes=40,
+    topology_params=TopologyParams(
+        num_tier1=4, num_transit=24, num_stub=90, seed=1
+    ),
+)
+
+
+def main() -> None:
+    attacks = SPEC.attacks()
+    print(f"campaign: {len(attacks)} shards across {SPEC.tenants} tenants")
+    for attack in attacks:
+        print(f"    {attack.label}  (scenario seed {attack.scenario.seed})")
+
+    # ------------------------------------------------------------------
+    # Phase 1: run the campaign with a scripted mid-replay crash.  The
+    # stream merges every launch with a kill of tenant-00's second
+    # attack once that shard's clock passes simulated minute 120; the
+    # runtime contains the crash and resumes the shard from its
+    # namespaced checkpoint.
+    # ------------------------------------------------------------------
+    victim = attacks[1]
+    events = scripted_stream(
+        SPEC,
+        controls=[
+            FleetEvent(
+                minute=120.0,
+                action=CRASH,
+                tenant=victim.tenant,
+                prefix=victim.prefix,
+            )
+        ],
+    )
+    print(f"\n[1] Replaying with {victim.label} killed at minute 120...")
+    checkpoint_dir = tempfile.mkdtemp(prefix="fleet_replay_")
+    with FleetRuntime(
+        SPEC, events=events, checkpoint_dir=checkpoint_dir
+    ) as runtime:
+        runtime.run()
+        crashed_report = runtime.report()
+    print(render_fleet_table(crashed_report.shards))
+    hit = next(s for s in crashed_report.shards if s.key == victim.key)
+    print(
+        f"    {hit.label}: {hit.crashes} crash / {hit.resumes} resume, "
+        f"finished {hit.state} after {hit.windows} windows"
+    )
+
+    # ------------------------------------------------------------------
+    # Phase 2: rerun the same spec undisturbed (no crash, fresh
+    # checkpoint directory).  Shards share no mutable state, so every
+    # per-shard attribution digest matches the crashed run byte for
+    # byte — the kill changed the schedule, never the evidence.
+    # ------------------------------------------------------------------
+    print("\n[2] Undisturbed rerun for comparison...")
+    with FleetRuntime(
+        SPEC, checkpoint_dir=tempfile.mkdtemp(prefix="fleet_replay_")
+    ) as runtime:
+        runtime.run()
+        clean_report = runtime.report()
+
+    crashed = {s.key: s.attribution_digest for s in crashed_report.shards}
+    clean = {s.key: s.attribution_digest for s in clean_report.shards}
+    print(f"    attributions identical across all shards: {crashed == clean}")
+
+    # ------------------------------------------------------------------
+    # Phase 3: the per-tenant view the /tenants endpoint serves.
+    # ------------------------------------------------------------------
+    print("\n[3] Per-tenant summary (the /tenants payload):\n")
+    for tenant, summary in sorted(clean_report.by_tenant().items()):
+        states = ", ".join(
+            f"{s.prefix}={s.state}:{s.windows}w" for s in summary
+        )
+        print(f"    {tenant}: {states}")
+    print(f"\n    fleet digest: {clean_report.digest}")
+
+
+if __name__ == "__main__":
+    main()

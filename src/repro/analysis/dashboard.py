@@ -28,10 +28,24 @@ class Dashboard:
     :meth:`render` returns the current full-screen text.  The dashboard
     is pure state-in/text-out — no threads, no I/O — so it is trivially
     testable and deterministic given a deterministic event sequence.
+
+    Args:
+        plot_options: chart raster (default fits a standard terminal).
+        tenant: only fold in events carrying this ``tenant`` tag (fleet
+            streams tag every shard event; see
+            :class:`~repro.fleet.obs.TaggedBus`).  Untagged events are
+            dropped too — a fleet's merged stream interleaves tenants,
+            so an unfiltered accumulator would mix their windows.
     """
 
-    def __init__(self, plot_options: Optional[PlotOptions] = None) -> None:
+    def __init__(
+        self,
+        plot_options: Optional[PlotOptions] = None,
+        tenant: str = "",
+    ) -> None:
         self.plot_options = plot_options or DASH_PLOT
+        self.tenant = tenant
+        self.events_filtered = 0
         self.windows: List[Mapping] = []
         self.phases: List[Mapping] = []
         self.faults: Dict[str, int] = {}
@@ -48,6 +62,9 @@ class Dashboard:
 
     def ingest(self, event: Mapping) -> None:
         """Fold one bus event into the dashboard state."""
+        if self.tenant and str(event.get("tenant", "")) != self.tenant:
+            self.events_filtered += 1
+            return
         self.events_seen += 1
         kind = event.get("kind")
         if kind == "window":
@@ -90,6 +107,11 @@ class Dashboard:
 
     def _header_lines(self) -> List[str]:
         lines = [f"events {self.events_seen}"]
+        if self.tenant:
+            lines[-1] += (
+                f" · tenant {self.tenant}"
+                f" ({self.events_filtered} foreign filtered)"
+            )
         if self.windows:
             latest = self.windows[-1]
             lines[-1] += (

@@ -1,0 +1,75 @@
+"""Rendering for the multi-tenant fleet runtime (``repro.fleet``).
+
+``spooftrack fleet`` prints a rolling per-tenant attribution table while
+the campaign runs and a final fleet summary when it finishes; both are
+assembled here from :class:`~repro.fleet.shard.ShardReport` values so
+the renderers are pure data-in/text-out like the rest of
+:mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..fleet.runtime import FleetReport
+from ..fleet.shard import ShardReport
+
+_HEADER = (
+    f"{'tenant':<10} {'prefix':<16} {'state':<9} {'win':>4} {'t(min)':>8} "
+    f"{'clus':>5} {'H(bits)':>8} {'top cluster':<22} {'c/r':>5}"
+)
+
+
+def render_shard_row(report: ShardReport) -> str:
+    """One table row for a shard's current (or final) state."""
+    top = ",".join(str(asn) for asn in report.top_cluster[:4])
+    if len(report.top_cluster) > 4:
+        top += ",…"
+    return (
+        f"{report.tenant:<10.10} {report.prefix:<16.16} {report.state:<9.9} "
+        f"{report.windows:>4} {report.clock_minutes:>8.1f} "
+        f"{report.num_clusters:>5} {report.entropy_bits:>8.3f} "
+        f"{top:<22.22} {report.crashes}/{report.resumes:>3}"
+    )
+
+
+def render_fleet_table(reports: Sequence[ShardReport]) -> str:
+    """The per-tenant attribution table (one row per shard)."""
+    lines = [_HEADER]
+    for report in sorted(reports, key=lambda r: r.key):
+        lines.append(render_shard_row(report))
+    return "\n".join(lines)
+
+
+def render_fleet_summary(report: FleetReport) -> str:
+    """End-of-campaign rollup: states, tenants, scheduler fairness."""
+    states: Mapping[str, int] = {}
+    for shard in report.shards:
+        states[shard.state] = states.get(shard.state, 0) + 1  # type: ignore[index]
+    state_text = ", ".join(
+        f"{count} {state}" for state, count in sorted(states.items())
+    )
+    by_tenant = report.by_tenant()
+    debt = report.scheduler.get("debt", {})
+    tenant_lines = []
+    for tenant in sorted(by_tenant):
+        shards = by_tenant[tenant]
+        windows = sum(s.windows for s in shards)
+        tenant_lines.append(
+            f"  {tenant}: {len(shards)} attacks · {windows} windows · "
+            f"debt {debt.get(tenant, 0.0):g}"
+        )
+    lines = [
+        f"fleet: {len(report.shards)} shards ({state_text}) · "
+        f"{report.scheduler.get('dispatches', 0)} dispatches · "
+        f"{report.events_applied} events applied"
+        + (f" · {report.events_missed} missed" if report.events_missed else "")
+        + (
+            f" · {report.crashes} crashes / {report.resumes} resumes"
+            if report.crashes or report.resumes
+            else ""
+        ),
+        *tenant_lines,
+        f"fleet digest: {report.digest}",
+    ]
+    return "\n".join(lines)

@@ -171,10 +171,11 @@ class ConvergenceEngine:
         origin_asn = self.origin.asn
         announced_paths: Dict[LinkId, ASPath] = {
             link: config.as_path_for_link(origin_asn, link)
-            for link in config.announced
+            for link in sorted(config.announced)
         }
         provider_by_link: Dict[LinkId, ASN] = {
-            link: self.origin.provider_of(link) for link in config.announced
+            link: self.origin.provider_of(link)
+            for link in sorted(config.announced)
         }
 
         rib_in: Dict[ASN, _AdjRibIn] = {asn: _AdjRibIn() for asn in self.graph.ases}

@@ -482,8 +482,10 @@ class CompiledTopology:
             )
 
         routes: Dict[ASN, Route] = {}
+        # Sorted so the catchment dict's order (and every downstream
+        # float sum over it) is independent of the string hash seed.
         catchments: Dict[LinkId, set] = {
-            link: set() for link in config.announced
+            link: set() for link in sorted(config.announced)
         }
         sets_by_idx: List[Optional[set]] = [None] * num_links
         for link in config.announced:

@@ -277,12 +277,17 @@ class RoutingSimulator:
                 for asn in self.graph.ases
             }
         origin_asn = self.origin.asn
+        # Iterate the announced set in sorted order everywhere a dict is
+        # built from it: LinkIds are strings, so raw set order varies
+        # with the interpreter's hash seed, and the insertion order here
+        # leaks into every downstream .items() walk and float sum.
         announced_paths: Dict[LinkId, ASPath] = {
             link: config.as_path_for_link(origin_asn, link)
-            for link in config.announced
+            for link in sorted(config.announced)
         }
         providers_by_asn: Dict[ASN, LinkId] = {
-            self.origin.provider_of(link): link for link in config.announced
+            self.origin.provider_of(link): link
+            for link in sorted(config.announced)
         }
         provider_by_link: Dict[LinkId, ASN] = {
             link: provider for provider, link in providers_by_asn.items()
@@ -334,7 +339,9 @@ class RoutingSimulator:
                 f"no fixpoint after {self.max_passes} passes for {config.describe()}"
             )
 
-        catchments: Dict[LinkId, set] = {link: set() for link in config.announced}
+        catchments: Dict[LinkId, set] = {
+            link: set() for link in sorted(config.announced)
+        }
         for asn, route in best.items():
             catchments[route.link_id].add(asn)
         return RoutingOutcome(

@@ -8,6 +8,9 @@ Subcommands:
   attack and print the report.
 * ``live`` — replay a synthetic attack through the online traceback
   service (``repro.live``) with rolling per-window attribution.
+* ``fleet`` — multiplex many tenants' concurrent attack replays through
+  the multi-tenant runtime (``repro.fleet``) with fair-share dispatch,
+  scripted crash/drain/evict events, and a rolling per-tenant table.
 * ``chaos`` — sweep a fault plan across intensities and print an
   accuracy-vs-fault-rate table (``repro.faults``).
 * ``profile`` — run the pipeline under the observability layer's
@@ -19,12 +22,14 @@ Subcommands:
   against the recorded baseline history; non-zero exit on regression.
 * ``experiments`` — regenerate the EXPERIMENTS.md body from a fresh run.
 
-``track``, ``live``, and ``chaos`` accept ``--trace PATH`` (JSONL span
-tree with deterministic span ids), ``--metrics PATH``
+``track``, ``live``, ``fleet``, and ``chaos`` accept ``--trace PATH``
+(JSONL span tree with deterministic span ids), ``--metrics PATH``
 (Prometheus-format counter/gauge/histogram dump), ``--serve PORT``
 (threaded HTTP exporter: ``/metrics``, ``/healthz``, ``/readyz``,
-``/manifest``, ``/traces``, SSE ``/events``), and ``--log-json``
-(structured JSON-lines operational logging instead of bare stderr).
+``/manifest``, ``/traces``, SSE ``/events``, and — in fleet mode —
+``/tenants``), and ``--log-json`` (structured JSON-lines operational
+logging instead of bare stderr).  ``track``, ``live``, and ``fleet``
+also accept ``--fault-plan`` (``chaos`` sweeps its own ``--plan``).
 """
 
 from __future__ import annotations
@@ -505,6 +510,164 @@ def _cmd_live(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_indexed_minute(text: str) -> tuple:
+    """Parse an ``ATTACK:MINUTE`` fleet control specification."""
+    try:
+        index_text, minute_text = text.split(":", 1)
+        return (int(index_text), float(minute_text))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"fleet event {text!r} is not ATTACK:MINUTE (e.g. 2:240)"
+        )
+
+
+def _parse_quota(text: str) -> tuple:
+    """Parse a ``TENANT:WEIGHT`` fair-share quota specification."""
+    try:
+        tenant, weight_text = text.split(":", 1)
+        weight = float(weight_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"quota {text!r} is not TENANT:WEIGHT (e.g. tenant-00:2.0)"
+        )
+    if not tenant or weight <= 0:
+        raise argparse.ArgumentTypeError(
+            f"quota {text!r} needs a tenant name and a positive weight"
+        )
+    return (tenant, weight)
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from .analysis.fleet import render_fleet_summary, render_fleet_table
+    from .analysis.live import render_window
+    from .fleet import (
+        CRASH,
+        DRAIN,
+        EVICT,
+        FleetEvent,
+        FleetRuntime,
+        FleetSpec,
+        scripted_stream,
+    )
+
+    obs = _make_obs(args, "fleet")
+    log = _logbook_for(args, obs)
+    if args.checkpoint_every > 0 and not args.checkpoint_dir:
+        log.error("--checkpoint-every needs --checkpoint-dir PATH")
+        return 2
+    params = replace(SCALES[args.scale], seed=args.seed)
+    spec = FleetSpec(
+        seed=args.seed,
+        tenants=args.tenants,
+        attacks_per_tenant=args.attacks,
+        max_configs=args.max_configs,
+        num_sources=args.sources,
+        distribution=args.distribution,
+        window_minutes=args.window_minutes,
+        launch_stagger_minutes=args.stagger_minutes,
+        checkpoint_every=args.checkpoint_every,
+        topology_params=params,
+        quotas=tuple(args.quota),
+        max_active=args.max_active,
+    )
+    attacks = spec.attacks()
+    controls = []
+    for action, requests in (
+        (CRASH, args.crash),
+        (DRAIN, args.drain),
+        (EVICT, args.evict),
+    ):
+        for index, minute in requests:
+            if not 0 <= index < len(attacks):
+                log.error(
+                    f"--{action} attack index {index} out of range "
+                    f"(the fleet has {len(attacks)} attacks)"
+                )
+                return 2
+            attack = attacks[index]
+            controls.append(
+                FleetEvent(
+                    minute=minute,
+                    action=action,
+                    tenant=attack.tenant,
+                    prefix=attack.prefix,
+                )
+            )
+    events = scripted_stream(spec, controls)
+
+    injector_factory = None
+    if getattr(args, "fault_plan", None):
+
+        def injector_factory(attack):
+            # One injector per shard: chaos draws stay independent of
+            # the fair-share interleaving.
+            injector = FaultInjector(load_fault_plan(args.fault_plan))
+            _wire_faults(injector, obs, log)
+            return injector
+
+    manifest = _manifest_for(
+        args,
+        "fleet",
+        tenants=args.tenants,
+        attacks_per_tenant=args.attacks,
+        max_active=args.max_active,
+        stagger_minutes=args.stagger_minutes,
+        distribution=args.distribution,
+    )
+    runtime = FleetRuntime(
+        spec,
+        events=events,
+        obs=obs,
+        workers=args.workers,
+        checkpoint_dir=args.checkpoint_dir or "",
+        injector_factory=injector_factory,
+    )
+
+    def _health():
+        return {"healthy": True, "shards": len(runtime.shards)}
+
+    server = _start_server(
+        args, obs, log, manifest=manifest, health_source=_health
+    )
+    if server is not None:
+        server.tenants_source = runtime.tenants_summary
+        server.set_ready()
+
+    windows_done = {"count": 0}
+    on_window = None
+    if not args.quiet:
+
+        def on_window(key, stats):
+            windows_done["count"] += 1
+            log.info(
+                f"{key[0]}/{key[1]} " + render_window(stats),
+                event="window",
+                tenant=key[0],
+                window=stats.window_index,
+            )
+            if args.table_every and windows_done["count"] % args.table_every == 0:
+                reports = [
+                    shard.report() for shard in runtime.shards.values()
+                ]
+                sys.stderr.write(render_fleet_table(reports) + "\n")
+
+    try:
+        if args.serial:
+            report = runtime.run(on_window=on_window)
+        else:
+            import asyncio
+
+            report = asyncio.run(runtime.run_async(on_window=on_window))
+    finally:
+        runtime.close()
+    _export_obs(args, obs, log)
+    _finish_server(args, server, obs, log)
+    print(render_fleet_summary(report))
+    print()
+    print(render_fleet_table(report.shards))
+    return 0
+
+
 def _parse_levels(text: str) -> List[float]:
     """Parse the ``chaos`` sweep's comma-separated intensity levels."""
     try:
@@ -606,7 +769,7 @@ def _iter_sse(stream):
 def _cmd_dash(args: argparse.Namespace) -> int:
     from .analysis.dashboard import Dashboard
 
-    dash = Dashboard()
+    dash = Dashboard(tenant=args.tenant or "")
     if args.url:
         import urllib.error
         import urllib.request
@@ -940,6 +1103,115 @@ def build_parser() -> argparse.ArgumentParser:
     add_obs_options(live)
     live.set_defaults(func=_cmd_live)
 
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="multiplex many tenants' attack replays through one runtime",
+    )
+    fleet.add_argument(
+        "--tenants", type=int, default=2, help="tenant origin networks"
+    )
+    fleet.add_argument(
+        "--attacks", type=int, default=2, help="concurrent attacks per tenant"
+    )
+    fleet.add_argument(
+        "--distribution",
+        choices=PLACEMENT_DISTRIBUTIONS,
+        default="pareto",
+        help="spoofing-source placement (per attack)",
+    )
+    fleet.add_argument(
+        "--sources", type=int, default=12, help="sources per attack"
+    )
+    fleet.add_argument(
+        "--max-configs", type=int, default=6,
+        help="truncate each shard's schedule",
+    )
+    fleet.add_argument(
+        "--window-minutes",
+        type=float,
+        default=20.0,
+        help="per-shard observation window length",
+    )
+    fleet.add_argument(
+        "--stagger-minutes",
+        type=float,
+        default=0.0,
+        help="spread attack launches this many simulated minutes apart",
+    )
+    fleet.add_argument(
+        "--max-active",
+        type=int,
+        default=0,
+        help="admission bound on concurrently live shards (0 = unbounded)",
+    )
+    fleet.add_argument(
+        "--quota",
+        type=_parse_quota,
+        action="append",
+        default=[],
+        metavar="TENANT:WEIGHT",
+        help="fair-share weight (repeatable, e.g. --quota tenant-00:2.0)",
+    )
+    fleet.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="directory for per-shard namespaced checkpoints",
+    )
+    fleet.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        help="checkpoint each shard every N windows (needs --checkpoint-dir)",
+    )
+    fleet.add_argument(
+        "--crash",
+        type=_parse_indexed_minute,
+        action="append",
+        default=[],
+        metavar="ATTACK:MINUTE",
+        help=(
+            "kill attack #N's shard at this simulated minute; it resumes "
+            "from its checkpoint (repeatable)"
+        ),
+    )
+    fleet.add_argument(
+        "--drain",
+        type=_parse_indexed_minute,
+        action="append",
+        default=[],
+        metavar="ATTACK:MINUTE",
+        help="gracefully finish attack #N's shard at this minute (repeatable)",
+    )
+    fleet.add_argument(
+        "--evict",
+        type=_parse_indexed_minute,
+        action="append",
+        default=[],
+        metavar="ATTACK:MINUTE",
+        help="remove attack #N's shard at this minute (repeatable)",
+    )
+    fleet.add_argument(
+        "--serial",
+        action="store_true",
+        help="use the serial driver instead of the asyncio front end "
+        "(byte-identical results)",
+    )
+    fleet.add_argument(
+        "--table-every",
+        type=int,
+        default=8,
+        help="print the rolling tenant table every N fleet windows (0 = never)",
+    )
+    fleet.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress rolling per-window progress on stderr",
+    )
+    add_workers(fleet)
+    add_fault_plan(fleet)
+    add_obs_options(fleet)
+    fleet.set_defaults(func=_cmd_fleet)
+
     chaos = subparsers.add_parser(
         "chaos",
         help="sweep a fault plan across intensities (accuracy vs fault rate)",
@@ -1017,6 +1289,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=10.0,
         help="with --url: socket timeout in seconds",
+    )
+    dash.add_argument(
+        "--tenant",
+        default=None,
+        help="only render events tagged with this tenant (fleet streams)",
     )
     dash.add_argument(
         "--distribution",

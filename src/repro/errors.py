@@ -66,6 +66,11 @@ class CheckpointCorruptionError(LiveServiceError):
     fallback (``<path>.bak``) exists to roll back to."""
 
 
+class FleetError(ReproError):
+    """Raised when the multi-tenant fleet runtime is misconfigured or a
+    fleet event targets a shard that cannot accept it."""
+
+
 class FaultInjectionError(ReproError):
     """Raised when a fault plan is malformed or names an unknown fault."""
 

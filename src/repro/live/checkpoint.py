@@ -20,8 +20,10 @@ to the rotated copy; only when *both* documents are damaged does
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import re
 from typing import TYPE_CHECKING, Tuple
 
 from ..errors import CheckpointCorruptionError, LiveServiceError
@@ -33,10 +35,35 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
 #: Accepted checkpoint document version.
 CHECKPOINT_VERSION = 1
 
+#: Filename characters kept verbatim by :func:`shard_checkpoint_path`.
+_SLUG_UNSAFE = re.compile(r"[^A-Za-z0-9_.-]+")
+
 
 def backup_path(path: str) -> str:
     """Where :func:`save_checkpoint` rotates the previous checkpoint."""
     return f"{path}.bak"
+
+
+def shard_checkpoint_path(directory: str, tenant: str, prefix: str) -> str:
+    """Collision-proof checkpoint path for one fleet shard.
+
+    Many shards checkpoint under one directory, so the path must be a
+    function of the full shard key ``(tenant, prefix)``: the human-
+    readable part is a sanitized slug (prefixes contain ``/``), and an
+    8-hex digest of the *raw* key guarantees two distinct keys never map
+    to the same file even when their slugs collide (``"a/b"`` vs
+    ``"a-b"``).
+    """
+    if not tenant or not prefix:
+        raise LiveServiceError("shard checkpoints need a tenant and a prefix")
+    slug = "__".join(
+        _SLUG_UNSAFE.sub("-", part).strip("-") or "x"
+        for part in (tenant, prefix)
+    )
+    digest = hashlib.sha256(
+        f"{tenant}\x00{prefix}".encode("utf-8")
+    ).hexdigest()[:8]
+    return os.path.join(directory, f"shard-{slug}-{digest}.json")
 
 
 def _canonical_json(payload) -> str:
@@ -54,6 +81,15 @@ def save_checkpoint(service: "LiveTracebackService", path: str) -> str:
     from ..obs import ensure_parent_dir
 
     payload = service.as_serializable()
+    scenario = payload.get("scenario")
+    if isinstance(scenario, dict) and scenario.get("checkpoint_path"):
+        # Store only the filename: the document must not depend on where
+        # it lives (byte-identical checkpoints across directories), and
+        # the loader rebinds future checkpoints to wherever it was read
+        # from, so a relocated checkpoint keeps working.
+        scenario["checkpoint_path"] = os.path.basename(
+            str(scenario["checkpoint_path"])
+        )
     body = _canonical_json(payload)
     document = {"checksum": content_checksum(body), "payload": payload}
     ensure_parent_dir(path)
@@ -93,7 +129,12 @@ def _read_payload(path: str) -> Tuple[dict, str]:
 
 
 def load_checkpoint(
-    path: str, workers: int = 1, allow_rollback: bool = True
+    path: str,
+    workers: int = 1,
+    allow_rollback: bool = True,
+    engine=None,
+    testbed=None,
+    obs=None,
 ) -> "LiveTracebackService":
     """Rebuild a service from a checkpoint written by :func:`save_checkpoint`.
 
@@ -106,6 +147,11 @@ def load_checkpoint(
             to the rotated ``<path>.bak`` copy; the restored service has
             ``restored_via_rollback`` set so callers can account the
             recovery.
+        engine: shared :class:`~repro.core.engine.SimulationEngine` for
+            the restored service (fleet resume path; see
+            :meth:`~repro.live.service.LiveTracebackService.from_serializable`).
+        testbed: pre-built testbed matching the checkpoint's spec.
+        obs: observability bundle for the restored service.
 
     Raises:
         CheckpointCorruptionError: when no intact checkpoint document
@@ -129,6 +175,15 @@ def load_checkpoint(
             f"checkpoint {path!r} has version {version!r}; "
             f"this build reads version {CHECKPOINT_VERSION}"
         )
-    service = LiveTracebackService.from_serializable(payload, workers=workers)
+    scenario_payload = payload.get("scenario")
+    if isinstance(scenario_payload, dict) and scenario_payload.get(
+        "checkpoint_path"
+    ):
+        # The document stores only a filename; future checkpoints of the
+        # restored service go where this one was loaded from.
+        scenario_payload["checkpoint_path"] = path
+    service = LiveTracebackService.from_serializable(
+        payload, workers=workers, engine=engine, testbed=testbed, obs=obs
+    )
     service.restored_via_rollback = rolled_back
     return service

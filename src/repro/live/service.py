@@ -298,6 +298,12 @@ class LiveTracebackService:
             "premeasure" span, per-window latency histograms, and live
             runtime counters (windows, selections, remeasurements,
             dropped batches).
+        engine: pre-built :class:`SimulationEngine` to run measurements
+            through instead of constructing a private one.  The fleet
+            runtime passes one shared engine per tenant so sibling
+            attacks on the same origin reuse its LRU cache and worker
+            pool; a shared engine is *not* closed by :meth:`close` (its
+            owner tears it down), and its stats span every consumer.
     """
 
     def __init__(
@@ -309,6 +315,7 @@ class LiveTracebackService:
         timeline: Optional[CampaignTimeline] = None,
         injector: Optional[FaultInjector] = None,
         obs: Optional[Observability] = None,
+        engine: Optional[SimulationEngine] = None,
     ) -> None:
         self.scenario = scenario or ReplayScenario()
         self.injector = injector
@@ -327,7 +334,8 @@ class LiveTracebackService:
         if self.scenario.max_configs is not None:
             schedule = schedule[: self.scenario.max_configs]
         self.schedule = schedule
-        self.engine = SimulationEngine(
+        self._owns_engine = engine is None
+        self.engine = engine if engine is not None else SimulationEngine(
             self.testbed.simulator,
             workers=workers,
             spec=self.spec,
@@ -420,12 +428,78 @@ class LiveTracebackService:
         }
 
     def close(self) -> None:
-        """Release the simulation engine's worker pool."""
-        self.engine.close()
+        """Release the simulation engine's worker pool.
+
+        A shared engine (one passed in by the fleet runtime) is left
+        running — its owner closes it once every sibling shard is done.
+        """
+        if self._owns_engine:
+            self.engine.close()
 
     # ------------------------------------------------------------------
     # The control loop
     # ------------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        """True once the replay reached a stop condition."""
+        return self._finished
+
+    def finish(self, reason: str) -> None:
+        """Stop the replay after the current state (operator drain).
+
+        The next :meth:`step` (or :meth:`run`) observes the stop and the
+        final report carries ``reason`` as its stop reason.  Idempotent:
+        a replay that already stopped keeps its original reason.
+        """
+        if not self._finished:
+            self.stop_reason = reason
+            self._finished = True
+
+    def step(
+        self, on_window: Optional[Callable[[WindowStats], None]] = None
+    ) -> bool:
+        """Advance the replay by one scheduling unit; True while unfinished.
+
+        A unit is either one configuration activation, one observation
+        window, or the trailing dwell slack of a configuration.  Calling
+        ``step()`` until it returns False is exactly :meth:`run` — the
+        fleet runtime interleaves the units of many shards through this
+        API, and per-shard results are identical because shards share no
+        mutable state.
+        """
+        if self._finished:
+            return False
+        if self._active_index is None:
+            reason = self.controller.should_stop(self.attributor)
+            if reason is not None:
+                self.stop_reason = reason
+                self._finished = True
+                return False
+            index = self.controller.select_next(self.attributor)
+            if index is None:
+                self.stop_reason = "schedule exhausted"
+                self._finished = True
+                return False
+            self._activate(index)
+            return True
+        if self._windows_left > 0:
+            self._run_window(on_window)
+            return True
+        # Dwell not covered by observation windows (convergence wait,
+        # probing slack) still passes on the clock.
+        windows = self.timeline.windows_per_config(
+            self.scenario.window_minutes
+        )
+        self.clock.advance(
+            max(
+                0.0,
+                self.timeline.minutes_per_config
+                - windows * self.scenario.window_minutes,
+            )
+        )
+        self._active_index = None
+        return True
 
     def run(
         self, on_window: Optional[Callable[[WindowStats], None]] = None
@@ -436,34 +510,8 @@ class LiveTracebackService:
             on_window: called with each window's :class:`WindowStats` as
                 it is emitted (rolling progress for CLIs).
         """
-        while not self._finished:
-            if self._active_index is None:
-                reason = self.controller.should_stop(self.attributor)
-                if reason is not None:
-                    self.stop_reason = reason
-                    self._finished = True
-                    break
-                index = self.controller.select_next(self.attributor)
-                if index is None:
-                    self.stop_reason = "schedule exhausted"
-                    self._finished = True
-                    break
-                self._activate(index)
-            while self._windows_left > 0:
-                self._run_window(on_window)
-            # Dwell not covered by observation windows (convergence wait,
-            # probing slack) still passes on the clock.
-            windows = self.timeline.windows_per_config(
-                self.scenario.window_minutes
-            )
-            self.clock.advance(
-                max(
-                    0.0,
-                    self.timeline.minutes_per_config
-                    - windows * self.scenario.window_minutes,
-                )
-            )
-            self._active_index = None
+        while self.step(on_window):
+            pass
         return self.report()
 
     def _activate(self, index: int) -> None:
@@ -890,13 +938,21 @@ class LiveTracebackService:
 
     @classmethod
     def from_serializable(
-        cls, payload: Mapping, workers: int = 1
+        cls,
+        payload: Mapping,
+        workers: int = 1,
+        engine: Optional[SimulationEngine] = None,
+        testbed: Optional[Testbed] = None,
+        obs: Optional[Observability] = None,
     ) -> "LiveTracebackService":
         """Rebuild a service dumped by :meth:`as_serializable`.
 
         The testbed, schedule, and stale catchments are re-derived
         deterministically from the spec; only observed state is restored
-        from the payload.
+        from the payload.  ``engine``/``testbed``/``obs`` are runtime
+        configuration, not state: the fleet runtime passes its shared
+        per-tenant engine and testbed so a resumed shard rides the warm
+        cache instead of re-simulating cold.
         """
         spec = _spec_from_payload(payload["spec"])
         scenario = _scenario_from_payload(payload["scenario"])
@@ -918,7 +974,13 @@ class LiveTracebackService:
                     continue
                 injector.log.record(str(kind), int(count))
         service = cls(
-            scenario=scenario, spec=spec, workers=workers, injector=injector
+            scenario=scenario,
+            spec=spec,
+            testbed=testbed,
+            workers=workers,
+            injector=injector,
+            obs=obs,
+            engine=engine,
         )
 
         service.clock = SimClock(payload["clock"])

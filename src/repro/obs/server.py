@@ -112,6 +112,8 @@ class _ObsHandler(BaseHTTPRequestHandler):
                 self._handle_traces(obs_server)
             elif route == "/events":
                 self._handle_events(obs_server, parse_qs(parsed.query))
+            elif route == "/tenants":
+                self._handle_tenants(obs_server)
             else:
                 self._send_json(404, {"error": f"unknown route {route}"})
         except (BrokenPipeError, ConnectionResetError):
@@ -153,6 +155,14 @@ class _ObsHandler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": "no tracer armed"})
             return
         self._send_json(200, tracer.records())
+
+    def _handle_tenants(self, obs_server: "ObsServer") -> None:
+        source = obs_server.tenants_source
+        if source is None:
+            self._send_json(404, {"error": "no fleet runtime attached"})
+            return
+        payload = source() if callable(source) else source
+        self._send_json(200, payload)
 
     def _handle_events(self, obs_server: "ObsServer", query) -> None:
         bus = obs_server.bus
@@ -204,11 +214,22 @@ class ObsServer:
             attribute (e.g. a :class:`~repro.faults.health.ResilienceReport`),
             or a bare bool.
         watchdog: :class:`~repro.obs.slo.SloWatchdog` gating ``/readyz``.
+        tenants_source: value or zero-arg callable feeding ``/tenants``
+            (fleet mode wires the runtime's ``tenants_summary`` here);
+            absent ⇒ 404.
         host: bind address (default loopback).
         port: bind port; 0 picks a free one (read :attr:`port` after).
     """
 
-    ROUTES = ("/metrics", "/healthz", "/readyz", "/manifest", "/traces", "/events")
+    ROUTES = (
+        "/metrics",
+        "/healthz",
+        "/readyz",
+        "/manifest",
+        "/traces",
+        "/events",
+        "/tenants",
+    )
 
     def __init__(
         self,
@@ -220,6 +241,7 @@ class ObsServer:
         watchdog=None,
         host: str = "127.0.0.1",
         port: int = 0,
+        tenants_source=None,
     ) -> None:
         self.registry = registry if registry is not None else getattr(obs, "registry", None)
         self.tracer = getattr(obs, "tracer", None)
@@ -227,6 +249,9 @@ class ObsServer:
         self.manifest = manifest
         self.health_source = health_source
         self.watchdog = watchdog
+        #: Value or zero-arg callable feeding ``/tenants`` — the fleet
+        #: runtime's :meth:`~repro.fleet.runtime.FleetRuntime.tenants_summary`.
+        self.tenants_source = tenants_source
         self.stopping = threading.Event()
         self._ready = threading.Event()
         self._http = ThreadingHTTPServer((host, port), _ObsHandler)

@@ -152,8 +152,8 @@ class TestCommands:
 
 
 class TestFaultOptions:
-    def test_fault_plan_registered_on_track_and_live(self):
-        for command in ["track", "live"]:
+    def test_fault_plan_registered_on_track_live_and_fleet(self):
+        for command in ["track", "live", "fleet"]:
             args = build_parser().parse_args(
                 [command, "--fault-plan", "mixed"]
             )
@@ -218,7 +218,7 @@ class TestFaultOptions:
 
 class TestObservabilityOptions:
     def test_trace_metrics_registered(self):
-        for command in ["track", "live", "chaos", "profile"]:
+        for command in ["track", "live", "chaos", "profile", "fleet"]:
             args = build_parser().parse_args(
                 [command, "--trace", "t.jsonl", "--metrics", "m.prom"]
             )
@@ -297,7 +297,7 @@ class TestObservabilityOptions:
 
 class TestServingOptions:
     def test_serve_and_log_json_registered(self):
-        for command in ["track", "live", "chaos", "profile"]:
+        for command in ["track", "live", "chaos", "profile", "fleet"]:
             args = build_parser().parse_args(
                 [command, "--serve", "0", "--log-json"]
             )
@@ -350,6 +350,82 @@ class TestServingOptions:
         assert all(r["msg"].startswith("wrote ") for r in exports)
 
 
+class TestFleetCommand:
+    def test_fleet_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.tenants == 2
+        assert args.attacks == 2
+        assert args.distribution == "pareto"
+        assert args.max_active == 0
+        assert args.quota == []
+        assert args.crash == [] and args.drain == [] and args.evict == []
+        assert not args.serial
+        assert args.table_every == 8
+
+    def test_event_and_quota_parsing(self):
+        args = build_parser().parse_args(
+            [
+                "fleet",
+                "--crash", "1:240",
+                "--drain", "0:100.5",
+                "--quota", "tenant-00:2.0",
+            ]
+        )
+        assert args.crash == [(1, 240.0)]
+        assert args.drain == [(0, 100.5)]
+        assert args.quota == [("tenant-00", 2.0)]
+        for bad in (
+            ["fleet", "--crash", "nonsense"],
+            ["fleet", "--crash", "1:x"],
+            ["fleet", "--quota", "tenant-00"],
+            ["fleet", "--quota", "tenant-00:0"],
+            ["fleet", "--quota", ":2.0"],
+        ):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(bad)
+
+    def test_checkpoint_every_needs_dir(self, capsys):
+        assert main(["fleet", "--checkpoint-every", "2"]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_event_index_out_of_range(self, capsys):
+        code = main(
+            ["fleet", "--tenants", "1", "--attacks", "1", "--crash", "5:100"]
+        )
+        assert code == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_fleet_command_runs(self, capsys):
+        code = main(
+            [
+                "--seed", "2", "fleet", "--tenants", "2", "--attacks", "1",
+                "--max-configs", "3", "--sources", "6", "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet: 2 shards (2 done)" in out
+        assert "tenant-00" in out and "tenant-01" in out
+        assert "fleet digest: " in out
+
+    def test_fleet_crash_resume_command(self, tmp_path, capsys):
+        base = [
+            "--seed", "2", "fleet", "--tenants", "1", "--attacks", "2",
+            "--max-configs", "3", "--sources", "6", "--quiet", "--serial",
+            "--checkpoint-dir", str(tmp_path), "--checkpoint-every", "2",
+        ]
+        assert main(base + ["--crash", "1:100"]) == 0
+        crashed = capsys.readouterr().out
+        assert "1 crashes / 1 resumes" in crashed
+        assert main(base) == 0
+        quiet = capsys.readouterr().out
+        digest = [
+            line for line in quiet.splitlines() if line.startswith("fleet digest")
+        ]
+        # Kill + checkpoint resume converges on the uncrashed digest.
+        assert digest[0] in crashed
+
+
 class TestDashCommand:
     def test_dash_replay_renders(self, capsys):
         code = main(
@@ -368,6 +444,12 @@ class TestDashCommand:
         )
         assert code == 2
         assert "cannot read" in capsys.readouterr().err
+
+    def test_dash_tenant_flag_registered(self):
+        args = build_parser().parse_args(["dash", "--tenant", "tenant-01"])
+        assert args.tenant == "tenant-01"
+        args = build_parser().parse_args(["dash"])
+        assert not args.tenant
 
 
 class TestBenchCheckCommand:

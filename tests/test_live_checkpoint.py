@@ -12,6 +12,7 @@ from repro.live import (
     load_checkpoint,
     save_checkpoint,
 )
+from repro.live.checkpoint import backup_path, shard_checkpoint_path
 
 
 @pytest.fixture(scope="module")
@@ -129,6 +130,114 @@ class TestRoundTrip:
         restored.close()
         assert resumed.windows == full.windows
         assert resumed.run_stats == full.run_stats
+
+
+class TestShardNamespacing:
+    """Many shards persisting under one checkpoint directory (fleet mode)."""
+
+    def test_paths_are_keyed_by_tenant_and_prefix(self):
+        a = shard_checkpoint_path("/ckpt", "tenant-00", "198.18.0.0/29")
+        assert a == shard_checkpoint_path("/ckpt", "tenant-00", "198.18.0.0/29")
+        assert a != shard_checkpoint_path("/ckpt", "tenant-00", "198.18.0.8/29")
+        assert a != shard_checkpoint_path("/ckpt", "tenant-01", "198.18.0.0/29")
+        assert a.startswith("/ckpt/shard-tenant-00__198.18.0.0-29-")
+        assert "/" not in a[len("/ckpt/"):]
+
+    def test_colliding_slugs_stay_distinct(self):
+        # "a/b" and "a-b" sanitize to the same slug; the raw-key digest
+        # keeps the files apart.
+        a = shard_checkpoint_path("/ckpt", "t", "a/b")
+        b = shard_checkpoint_path("/ckpt", "t", "a-b")
+        assert a != b
+
+    def test_empty_key_is_an_error(self):
+        with pytest.raises(LiveServiceError):
+            shard_checkpoint_path("/ckpt", "", "198.18.0.0/29")
+        with pytest.raises(LiveServiceError):
+            shard_checkpoint_path("/ckpt", "tenant-00", "")
+
+    @pytest.fixture()
+    def two_shards(self, small_testbed, tmp_path):
+        """Two shard services checkpointing into one shared directory."""
+        directory = str(tmp_path)
+        paths = {}
+        for seed, prefix in ((5, "198.18.0.0/29"), (6, "198.18.0.8/29")):
+            path = shard_checkpoint_path(directory, "tenant-00", prefix)
+            scenario = ReplayScenario(
+                seed=seed,
+                max_configs=3,
+                min_configs=1,
+                adaptive=False,
+                checkpoint_every=5,
+                checkpoint_path=path,
+            )
+            service = LiveTracebackService(
+                scenario=scenario, testbed=small_testbed
+            )
+            service.run()
+            service.close()
+            paths[prefix] = path
+        return paths
+
+    def test_sibling_shards_write_independent_documents(self, two_shards):
+        paths = list(two_shards.values())
+        assert len(set(paths)) == 2
+        for path in paths:
+            assert json.load(open(path))  # intact primary
+            assert json.load(open(backup_path(path)))  # rotated previous
+        # The two shards saw different traffic: distinct state documents.
+        bodies = [open(path).read() for path in paths]
+        assert bodies[0] != bodies[1]
+
+    def test_corrupting_one_shard_leaves_the_other_intact(self, two_shards):
+        victim, bystander = two_shards.values()
+        with open(victim, "w") as handle:
+            handle.write('{"torn":')  # torn write on the primary
+        restored = load_checkpoint(victim)
+        assert restored.restored_via_rollback  # recovered from .bak
+        restored.close()
+        untouched = load_checkpoint(bystander)
+        assert not untouched.restored_via_rollback
+        untouched.close()
+
+    def test_checkpoint_bytes_are_location_independent(
+        self, small_testbed, tmp_path
+    ):
+        bodies = []
+        for directory in ("one", "two"):
+            path = shard_checkpoint_path(
+                str(tmp_path / directory), "tenant-00", "198.18.0.0/29"
+            )
+            scenario = ReplayScenario(
+                seed=5,
+                max_configs=3,
+                min_configs=1,
+                adaptive=False,
+                checkpoint_every=5,
+                checkpoint_path=path,
+            )
+            service = LiveTracebackService(
+                scenario=scenario, testbed=small_testbed
+            )
+            service.run()
+            service.close()
+            bodies.append(open(path).read())
+        assert bodies[0] == bodies[1]
+
+    def test_relocated_checkpoint_rebinds_future_writes(
+        self, two_shards, tmp_path
+    ):
+        import shutil
+
+        source = next(iter(two_shards.values()))
+        moved = str(tmp_path / "elsewhere" / "moved.json")
+        import os
+
+        os.makedirs(os.path.dirname(moved))
+        shutil.copy(source, moved)
+        restored = load_checkpoint(moved)
+        assert restored.scenario.checkpoint_path == moved
+        restored.close()
 
 
 class TestErrors:
