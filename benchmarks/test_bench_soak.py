@@ -1,0 +1,151 @@
+"""Soak harness overhead benchmark.
+
+The soak runner wraps a fleet campaign in epoch machinery — horizon
+slicing, seeded kill/corruption draws, whole-process restarts with
+re-adoption, schema alternation, and resource sampling.  All of that
+must stay cheap relative to the replay work it disrupts: a harness that
+doubles the cost of the campaign it soaks cannot run simulated weeks.
+
+This benchmark runs the same fleet two ways:
+
+* **plain**: one uninterrupted :class:`~repro.fleet.FleetRuntime.run`;
+* **soak**: the same event stream through :class:`~repro.soak.SoakRunner`
+  with three epochs, a restart at every boundary, kills, and schema
+  alternation (verification off — the reference run is the plain path).
+
+Identical attribution digests double-check the harness changed nothing
+but the disruption schedule.  ``BENCH_soak.json`` records both wall
+times and the harness overhead.  The target is <10% per epoch; the
+assertion ceiling is loose (100% total) because restarts legitimately
+rebuild runtimes and CI clocks are noisy — the artifact records the
+real number, and `spooftrack bench-check` gates wall times against
+history.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.fleet import FleetRuntime, FleetSpec, fleet_digest
+from repro.soak import SoakRunner, SoakSpec
+from repro.topology.generator import TopologyParams
+
+ARTIFACT = os.path.join(os.path.dirname(__file__), "BENCH_soak.json")
+REPEATS = 3
+EPOCHS = 3
+
+FLEET_SPEC = FleetSpec(
+    seed=11,
+    tenants=4,
+    attacks_per_tenant=2,
+    max_configs=3,
+    num_sources=6,
+    window_minutes=20.0,
+    checkpoint_every=1,
+    checkpoint_keep=2,
+    num_links=5,
+    num_vantages=12,
+    num_probes=40,
+    topology_params=TopologyParams(
+        num_tier1=4, num_transit=24, num_stub=90, seed=1
+    ),
+)
+
+
+def _soak_spec() -> SoakSpec:
+    return SoakSpec(
+        fleet=FLEET_SPEC,
+        epochs=EPOCHS,
+        epoch_minutes=40.0,
+        restart_every=1,
+        kill_rate=0.2,
+        corrupt_rate=0.0,
+        alternate_versions=True,
+    )
+
+
+def _plain_run(events, checkpoint_dir):
+    """One uninterrupted fleet run; returns (digest, windows, seconds)."""
+    runtime = FleetRuntime(
+        FLEET_SPEC, events=events, checkpoint_dir=checkpoint_dir
+    )
+    start = time.perf_counter()
+    report = runtime.run()
+    elapsed = time.perf_counter() - start
+    runtime.close()
+    digest = fleet_digest(report.shards, include_checkpoints=False)
+    return digest, sum(shard.windows for shard in report.shards), elapsed
+
+
+def _soak_run(spec, checkpoint_dir):
+    """The same campaign through the soak harness (verify off);
+    returns (digest, windows, seconds, report)."""
+    runner = SoakRunner(spec, checkpoint_dir=checkpoint_dir, verify=False)
+    start = time.perf_counter()
+    report = runner.run()
+    elapsed = time.perf_counter() - start
+    windows = sum(shard.windows for shard in report.shards)
+    return report.digest, windows, elapsed, report
+
+
+def test_soak_harness_overhead(capsys, tmp_path):
+    spec = _soak_spec()
+    events = spec.events()
+
+    plain_best = None
+    for repeat in range(REPEATS):
+        plain_digest, plain_windows, elapsed = _plain_run(
+            events, str(tmp_path / f"plain-{repeat}")
+        )
+        if plain_best is None or elapsed < plain_best:
+            plain_best = elapsed
+
+    soak_best = None
+    for repeat in range(REPEATS):
+        soak_digest, soak_windows, elapsed, report = _soak_run(
+            spec, str(tmp_path / f"soak-{repeat}")
+        )
+        if soak_best is None or elapsed < soak_best:
+            soak_best = elapsed
+
+    # The harness must change only the disruption schedule, never the
+    # evidence.
+    assert soak_digest == plain_digest
+    assert soak_windows == plain_windows
+    assert report.restarts == EPOCHS - 1
+    assert report.migrations > 0
+
+    overhead_pct = 100.0 * (soak_best - plain_best) / plain_best
+    per_epoch_overhead_pct = overhead_pct / EPOCHS
+
+    record = {
+        "seed": FLEET_SPEC.seed,
+        "tenants": FLEET_SPEC.tenants,
+        "shards": len(FLEET_SPEC.attacks()),
+        "epochs": EPOCHS,
+        "restarts": report.restarts,
+        "kills": report.kills,
+        "migrations": report.migrations,
+        "repeats": REPEATS,
+        "cpu_count": os.cpu_count(),
+        "windows_total": soak_windows,
+        "plain_seconds": round(plain_best, 4),
+        "soak_seconds": round(soak_best, 4),
+        "soak_windows_per_second": round(soak_windows / soak_best, 1),
+        "soak_overhead_pct": round(overhead_pct, 2),
+        "per_epoch_overhead_pct": round(per_epoch_overhead_pct, 3),
+    }
+    with open(ARTIFACT, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    # Target is <10% per epoch; loose total ceiling for noisy CI clocks.
+    assert overhead_pct < 100.0
+
+    with capsys.disabled():
+        print()
+        print(f"wrote {ARTIFACT}")
+        for key, value in sorted(record.items()):
+            print(f"  {key:26s}: {value}")

@@ -11,6 +11,11 @@ Subcommands:
 * ``fleet`` — multiplex many tenants' concurrent attack replays through
   the multi-tenant runtime (``repro.fleet``) with fair-share dispatch,
   scripted crash/drain/evict events, and a rolling per-tenant table.
+* ``soak`` — long-horizon soak campaign (``repro.soak``): epochs of
+  whole-process restarts, seeded kills, checkpoint corruption, fault
+  escalation, and checkpoint schema alternation, with resource ceilings
+  asserted per epoch and the final digest verified against an
+  uninterrupted reference run.
 * ``chaos`` — sweep a fault plan across intensities and print an
   accuracy-vs-fault-rate table (``repro.faults``).
 * ``profile`` — run the pipeline under the observability layer's
@@ -180,12 +185,17 @@ def _start_server(
     log: Logbook,
     manifest=None,
     health_source=None,
+    slo_rules=None,
 ):
     """Start the ``--serve`` exporter (or return None when not asked for)."""
     port = getattr(args, "serve", None)
     if port is None or obs is None:
         return None
-    watchdog = SloWatchdog(registry=obs.registry)
+    watchdog = (
+        SloWatchdog(slo_rules, registry=obs.registry)
+        if slo_rules is not None
+        else SloWatchdog(registry=obs.registry)
+    )
     if obs.bus is not None:
         obs.bus.attach(watchdog.observe)
     server = ObsServer(
@@ -665,6 +675,96 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     print(render_fleet_summary(report))
     print()
     print(render_fleet_table(report.shards))
+    return 0
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from .fleet import FleetSpec
+    from .obs.slo import SOAK_SLOS
+    from .soak import (
+        ResourceCeilings,
+        SoakRunner,
+        SoakSpec,
+        render_soak_summary,
+        render_soak_table,
+    )
+
+    obs = _make_obs(args, "soak")
+    log = _logbook_for(args, obs)
+    if not args.checkpoint_dir:
+        log.error(
+            "soak needs --checkpoint-dir PATH — restarts resume from disk"
+        )
+        return 2
+    params = replace(SCALES[args.scale], seed=args.seed)
+    fleet = FleetSpec(
+        seed=args.seed,
+        tenants=args.tenants,
+        attacks_per_tenant=args.attacks,
+        max_configs=args.max_configs,
+        num_sources=args.sources,
+        distribution=args.distribution,
+        window_minutes=args.window_minutes,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_keep=args.keep,
+        topology_params=params,
+    )
+    spec = SoakSpec(
+        fleet=fleet,
+        epochs=args.epochs,
+        epoch_minutes=args.epoch_minutes,
+        restart_every=args.restart_every,
+        kill_rate=args.kill_rate,
+        corrupt_rate=args.corrupt_rate,
+        fault_plan=args.fault_plan,
+        escalation_base=args.escalation_base,
+        escalation_growth=args.escalation_growth,
+        churn_tenants=args.churn_tenants,
+        alternate_versions=not args.no_alternate,
+        ceilings=ResourceCeilings(
+            rss_mb=args.max_rss_mb,
+            open_fds=args.max_fds,
+            threads=args.max_threads,
+            rss_slope_mb_per_epoch=args.rss_slope_budget,
+        ),
+    )
+    manifest = _manifest_for(
+        args,
+        "soak",
+        tenants=args.tenants,
+        attacks_per_tenant=args.attacks,
+        epochs=args.epochs,
+        epoch_minutes=args.epoch_minutes,
+        restart_every=args.restart_every,
+        kill_rate=args.kill_rate,
+        corrupt_rate=args.corrupt_rate,
+        churn_tenants=args.churn_tenants,
+        fault_plan=args.fault_plan,
+    )
+    runner = SoakRunner(
+        spec,
+        checkpoint_dir=args.checkpoint_dir,
+        workers=args.workers,
+        obs=obs,
+        verify=not args.no_verify,
+    )
+    # The soak watchdog also knows the resource_ceiling objective, so a
+    # sentinel breach flips /readyz while the campaign is served.
+    server = _start_server(
+        args, obs, log, manifest=manifest, slo_rules=SOAK_SLOS
+    )
+    if server is not None:
+        server.set_ready()
+    report = runner.run()
+    _export_obs(args, obs, log)
+    _finish_server(args, server, obs, log)
+    print(render_soak_table(report.epochs))
+    print()
+    print(render_soak_summary(report))
+    if not report.healthy:
+        return 1
+    if runner.verify and not report.verified:
+        return 1
     return 0
 
 
@@ -1211,6 +1311,149 @@ def build_parser() -> argparse.ArgumentParser:
     add_fault_plan(fleet)
     add_obs_options(fleet)
     fleet.set_defaults(func=_cmd_fleet)
+
+    soak = subparsers.add_parser(
+        "soak",
+        help=(
+            "long-horizon soak: epochs of restarts, kills, checkpoint "
+            "corruption, and schema migration, verified against an "
+            "uninterrupted reference digest"
+        ),
+    )
+    soak.add_argument(
+        "--tenants", type=int, default=2, help="tenant origin networks"
+    )
+    soak.add_argument(
+        "--attacks", type=int, default=2, help="concurrent attacks per tenant"
+    )
+    soak.add_argument(
+        "--distribution",
+        choices=PLACEMENT_DISTRIBUTIONS,
+        default="pareto",
+        help="spoofing-source placement (per attack)",
+    )
+    soak.add_argument(
+        "--sources", type=int, default=6, help="sources per attack"
+    )
+    soak.add_argument(
+        "--max-configs", type=int, default=3,
+        help="truncate each shard's schedule",
+    )
+    soak.add_argument(
+        "--window-minutes",
+        type=float,
+        default=20.0,
+        help="per-shard observation window length",
+    )
+    soak.add_argument(
+        "--epochs", type=int, default=4, help="soak epochs (last one drains)"
+    )
+    soak.add_argument(
+        "--epoch-minutes",
+        type=float,
+        default=60.0,
+        help="simulated minutes per epoch",
+    )
+    soak.add_argument(
+        "--restart-every",
+        type=int,
+        default=1,
+        help="whole-process restart after every Nth epoch (0 = never)",
+    )
+    soak.add_argument(
+        "--kill-rate",
+        type=float,
+        default=0.25,
+        help="per-shard seeded kill probability at each epoch boundary",
+    )
+    soak.add_argument(
+        "--corrupt-rate",
+        type=float,
+        default=0.25,
+        help="per-shard seeded checkpoint-corruption probability per restart",
+    )
+    soak.add_argument(
+        "--churn-tenants",
+        type=int,
+        default=0,
+        help="extra tenants launched mid-campaign and evicted two epochs later",
+    )
+    soak.add_argument(
+        "--fault-plan",
+        default="soak-infra",
+        metavar="NAME|PATH",
+        help=(
+            "fault plan escalated per epoch, restricted to its "
+            "result-preserving infra faults ('' disables; default "
+            "soak-infra)"
+        ),
+    )
+    soak.add_argument(
+        "--escalation-base",
+        type=float,
+        default=0.5,
+        help="fault scale at epoch 0",
+    )
+    soak.add_argument(
+        "--escalation-growth",
+        type=float,
+        default=0.5,
+        help="fault scale increase per epoch",
+    )
+    soak.add_argument(
+        "--no-alternate",
+        action="store_true",
+        help="do not alternate checkpoint schema versions across epochs",
+    )
+    soak.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the uninterrupted reference run and digest comparison",
+    )
+    soak.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="directory for per-shard checkpoints (required)",
+    )
+    soak.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        help="checkpoint each shard every N windows",
+    )
+    soak.add_argument(
+        "--keep",
+        type=int,
+        default=2,
+        help="rotated checkpoint generations retained per shard",
+    )
+    soak.add_argument(
+        "--max-rss-mb",
+        type=float,
+        default=4096.0,
+        help="RSS ceiling in MiB (0 disables)",
+    )
+    soak.add_argument(
+        "--max-fds",
+        type=int,
+        default=1024,
+        help="open file descriptor ceiling (0 disables)",
+    )
+    soak.add_argument(
+        "--max-threads",
+        type=int,
+        default=128,
+        help="thread count ceiling (0 disables)",
+    )
+    soak.add_argument(
+        "--rss-slope-budget",
+        type=float,
+        default=64.0,
+        help="RSS leak budget in MiB per epoch across the campaign",
+    )
+    add_workers(soak)
+    add_obs_options(soak)
+    soak.set_defaults(func=_cmd_soak)
 
     chaos = subparsers.add_parser(
         "chaos",

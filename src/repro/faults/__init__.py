@@ -26,6 +26,7 @@ from .plan import (
     CHECKPOINT_CORRUPTION,
     COLLECTOR_FLAP,
     FAULT_KINDS,
+    INFRA_FAULT_KINDS,
     MEASUREMENT_LOSS,
     ROUTE_CHURN,
     VOLUME_NOISE,
@@ -33,6 +34,7 @@ from .plan import (
     WORKER_HANG,
     FaultPlan,
     FaultSpec,
+    escalation_curve,
     load_fault_plan,
     stable_unit,
 )
@@ -49,6 +51,7 @@ __all__ = [
     "COLLECTOR_FLAP",
     "CircuitBreaker",
     "FAULT_KINDS",
+    "INFRA_FAULT_KINDS",
     "FaultAction",
     "FaultInjector",
     "FaultLog",
@@ -66,6 +69,7 @@ __all__ = [
     "atomic_write_text",
     "build_resilience_report",
     "content_checksum",
+    "escalation_curve",
     "load_fault_plan",
     "stable_unit",
 ]

@@ -9,9 +9,9 @@ shards persist under one directory, crash containment (an exception
 escaping the service marks the shard failed instead of taking the fleet
 down — the :mod:`repro.faults` posture applied at shard granularity),
 and deterministic resume: a failed shard restores from its last intact
-checkpoint (rollback to ``.bak`` included) or, with no checkpoint yet,
-restarts from scratch — either way replaying to the byte-identical final
-attribution, because scenarios are stateless-seeded.
+checkpoint (rollback to rotated generations included) or, with no
+checkpoint yet, restarts from scratch — either way replaying to the
+byte-identical final attribution, because scenarios are stateless-seeded.
 
 The shard does not schedule itself and does not own shared resources:
 the runtime decides when :meth:`step` runs (fair share) and supplies the
@@ -110,6 +110,7 @@ class ShardReport:
     dropped_volume: float = 0.0
     crashes: int = 0
     resumes: int = 0
+    migrations: int = 0
     error: str = ""
     top_cluster: List[int] = field(default_factory=list)
     top_volume: float = 0.0
@@ -141,6 +142,7 @@ class ShardReport:
             "dropped_volume": round(self.dropped_volume, 9),
             "crashes": self.crashes,
             "resumes": self.resumes,
+            "migrations": self.migrations,
             "error": self.error,
             "top_cluster": list(self.top_cluster),
             "top_volume": round(self.top_volume, 9),
@@ -161,6 +163,8 @@ class AttackShard:
             it.  Empty disables checkpointing (crash recovery then
             restarts from scratch).
         checkpoint_every: periodic checkpoint cadence in windows.
+        checkpoint_keep: rotated-generation retention for this shard's
+            checkpoints (runtime configuration; never serialized).
         obs: the shard's (tagged) observability bundle.
         injector: optional per-shard fault injector.
     """
@@ -170,12 +174,14 @@ class AttackShard:
         attack: AttackSpec,
         checkpoint_dir: str = "",
         checkpoint_every: int = 0,
+        checkpoint_keep: int = 1,
         obs: Optional[Observability] = None,
         injector=None,
     ) -> None:
         self.attack = attack
         self.obs = obs if obs is not None else Observability()
         self.injector = injector
+        self.checkpoint_keep = checkpoint_keep
         self.state = PENDING
         self.checkpoint_path = (
             shard_checkpoint_path(checkpoint_dir, attack.tenant, attack.prefix)
@@ -193,6 +199,7 @@ class AttackShard:
         self.service: Optional[LiveTracebackService] = None
         self.crashes = 0
         self.resumes = 0
+        self.migrations = 0
         self.error = ""
         self._final: Optional[LiveReport] = None
         self._last_clock = 0.0
@@ -245,6 +252,7 @@ class AttackShard:
             obs=self.obs,
             engine=engine,
         )
+        self.service.checkpoint_keep = self.checkpoint_keep
         self.state = ACTIVE
 
     def step(
@@ -283,6 +291,18 @@ class AttackShard:
         self.crashes += 1
         self.state = FAILED
 
+    def mark_restart(self) -> None:
+        """Flag a freshly spawned shard as recovering from a process
+        restart (the soak harness's adopt path): the shard moves to
+        ``failed`` so :meth:`resume` applies, without counting a crash —
+        the process died, not the shard."""
+        if self.state != PENDING:
+            raise FleetError(
+                f"cannot mark shard {self.label} restarting ({self.state})"
+            )
+        self.error = "process restart"
+        self.state = FAILED
+
     def resume(self, testbed, engine, workers: int = 1) -> bool:
         """Recover a failed shard; returns True when it resumed from a
         checkpoint (False = restarted from scratch)."""
@@ -296,6 +316,9 @@ class AttackShard:
                 testbed=testbed,
                 obs=self.obs,
             )
+            self.service.checkpoint_keep = self.checkpoint_keep
+            if self.service.checkpoint_migrated_from is not None:
+                self.migrations += 1
             self.resumes += 1
             self.state = ACTIVE
             return True
@@ -353,6 +376,7 @@ class AttackShard:
             state=self.state,
             crashes=self.crashes,
             resumes=self.resumes,
+            migrations=self.migrations,
             error=self.error,
             checkpoint_path=self.checkpoint_path,
             checkpoint_digest=checkpoint_digest(self.checkpoint_path),

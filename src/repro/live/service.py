@@ -80,8 +80,9 @@ from .events import (
 )
 from .ingest import BoundedIngestQueue, DecayingVolumeWindow, IngestStats
 
-#: Checkpoint payload version accepted by :mod:`repro.live.checkpoint`.
-STATE_VERSION = 1
+#: Checkpoint payload version written by :meth:`as_serializable` (older
+#: documents upgrade through :mod:`repro.live.checkpoint`'s migrations).
+STATE_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -413,6 +414,13 @@ class LiveTracebackService:
         self._checkpoint_ordinal = 0
         self.checkpoint_corruptions = 0
         self.restored_via_rollback = False
+        #: Rotation retention for saves (runtime configuration, like
+        #: ``workers`` — never serialized, so checkpoint bytes are
+        #: independent of how many generations the operator keeps).
+        self.checkpoint_keep = 1
+        #: Original document version when this service was restored
+        #: through a schema migration (None otherwise).
+        self.checkpoint_migrated_from: Optional[int] = None
         self._metrics_exported = False
 
     # ------------------------------------------------------------------
@@ -856,15 +864,15 @@ class LiveTracebackService:
 
         Under a fault plan with checkpoint corruption, the freshly
         written document may be deterministically mangled *after* the
-        save — the rotated ``<path>.bak`` copy stays intact, which is
-        exactly the torn-write scenario the loader's rollback covers.
+        save — the rotated ``<path>.1`` generation stays intact, which
+        is exactly the torn-write scenario the loader's rollback covers.
         """
         self.event_log.append(
             CheckpointRequest(timestamp=self.clock.now, path=path)
         )
         ordinal = self._checkpoint_ordinal
         self._checkpoint_ordinal += 1
-        result = save_checkpoint(self, path)
+        result = save_checkpoint(self, path, keep=self.checkpoint_keep)
         corrupted = False
         if self.injector is not None and self.injector.should_corrupt_checkpoint(
             ordinal
@@ -887,8 +895,18 @@ class LiveTracebackService:
             raise LiveServiceError(
                 "cannot checkpoint a service built from a spec-less testbed"
             )
+        from .. import __version__
+
         return {
             "version": STATE_VERSION,
+            # Regenerated at every save (never restored), so the bytes a
+            # resumed service writes are identical to an uninterrupted
+            # run's — the envelope records the writer, not the history.
+            "written_by": {
+                "library": "repro",
+                "release": __version__,
+                "schema": STATE_VERSION,
+            },
             "spec": asdict(self.spec),
             "scenario": asdict(self.scenario),
             "fault_plan": (

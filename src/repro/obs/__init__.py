@@ -75,9 +75,16 @@ from .metrics import (  # noqa: E402
     record_build_info,
     record_engine_stats,
     record_fault_log,
+    record_resource_sample,
 )
 from .profiling import PhaseTimer, ProfileCapture, Stopwatch  # noqa: E402
-from .slo import DEFAULT_SLOS, SloRule, SloWatchdog  # noqa: E402
+from .slo import (  # noqa: E402
+    DEFAULT_SLOS,
+    RESOURCE_CEILING_SLO,
+    SOAK_SLOS,
+    SloRule,
+    SloWatchdog,
+)
 from .server import ObsServer  # noqa: E402
 from .benchgate import (  # noqa: E402
     BenchCheckResult,
@@ -101,6 +108,8 @@ __all__ = [
     "BenchCheckResult",
     "Counter",
     "DEFAULT_SLOS",
+    "RESOURCE_CEILING_SLO",
+    "SOAK_SLOS",
     "EventBus",
     "Gauge",
     "Histogram",
@@ -135,6 +144,7 @@ __all__ = [
     "record_build_info",
     "record_engine_stats",
     "record_fault_log",
+    "record_resource_sample",
     "span_tree_signature",
     "strip_measured",
     "write_history",

@@ -165,6 +165,16 @@ class EventBus:
         with self._lock:
             self._listeners.append(listener)
 
+    def detach(self, listener: Listener) -> None:
+        """Remove a listener registered with :meth:`attach` (no-op when
+        absent).  Long-lived buses outlive individual runtimes — the
+        soak harness rebuilds the fleet every restart epoch — so
+        consumers must detach on teardown or stale listeners stack up
+        and double-count."""
+        with self._lock:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
     def history(self) -> List[Event]:
         """Copy of the retained event history (publish order)."""
         with self._lock:

@@ -1,0 +1,49 @@
+"""Soak & upgrade harness: long-horizon operation as a checkable fact.
+
+The fleet runtime proves a campaign survives a single disruption; this
+package proves it survives *weeks* of them.  A soak campaign cuts one
+deterministic fleet replay into epochs and disrupts every boundary —
+process-style restarts resumed from checkpoints, seeded kills,
+checkpoint corruption forced through the rollback path, escalating
+(result-preserving) engine faults, tenant churn, and checkpoint schema
+alternation that exercises the v1→v2 migration registry mid-run — while
+a :class:`~repro.soak.sentinel.ResourceSentinel` watches RSS, file
+descriptors, and threads against ceilings and a leak budget.
+
+Because every shard is stateless-seeded, the disrupted campaign must
+end with the *same* fleet attribution digest as an uninterrupted
+reference run over the same event stream; the digest comparison is the
+soak oracle.
+"""
+
+from .report import (
+    EpochStats,
+    SoakReport,
+    render_epoch_row,
+    render_soak_summary,
+    render_soak_table,
+)
+from .runner import SoakRunner
+from .sentinel import (
+    ResourceCeilings,
+    ResourceSample,
+    ResourceSentinel,
+    count_open_fds,
+    read_rss_mb,
+)
+from .spec import SoakSpec
+
+__all__ = [
+    "EpochStats",
+    "ResourceCeilings",
+    "ResourceSample",
+    "ResourceSentinel",
+    "SoakReport",
+    "SoakRunner",
+    "SoakSpec",
+    "count_open_fds",
+    "read_rss_mb",
+    "render_epoch_row",
+    "render_soak_summary",
+    "render_soak_table",
+]

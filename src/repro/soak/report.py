@@ -1,0 +1,179 @@
+"""Soak campaign reports: per-epoch trajectory plus the final verdict.
+
+The report answers two questions.  Did the science survive — is the
+final fleet digest of a campaign riddled with restarts, kills,
+checkpoint corruption, and schema downgrades identical to an
+uninterrupted reference run?  And did the process survive — did RSS,
+file descriptors, and thread counts stay under their ceilings for the
+whole horizon?
+
+:class:`EpochStats` rows carry *cumulative* counters (resumes,
+migrations, crashes) so the table reads as a trajectory; totals on
+:class:`SoakReport` repeat the final row for convenience.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..fleet.shard import ShardReport
+from .sentinel import ResourceSample
+
+_HEADER = (
+    f"{'epoch':>5}  {'wrote':>5}  {'windows':>7}  {'kills':>5}  "
+    f"{'corrupt':>7}  {'restart':>7}  {'resumes':>7}  {'migrated':>8}  "
+    f"{'crashes':>7}  {'rss_mb':>8}  {'fds':>5}  {'thr':>4}"
+)
+
+
+@dataclass(frozen=True)
+class EpochStats:
+    """One epoch's end-of-epoch snapshot (counters are cumulative)."""
+
+    epoch: int
+    version_written: int
+    horizon_minutes: Optional[float]
+    windows: int
+    kills: int
+    corruptions: int
+    restarted: bool
+    resumes: int
+    migrations: int
+    crashes: int
+    rss_mb: float
+    open_fds: int
+    threads: int
+
+    def as_dict(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "version_written": self.version_written,
+            "horizon_minutes": self.horizon_minutes,
+            "windows": self.windows,
+            "kills": self.kills,
+            "corruptions": self.corruptions,
+            "restarted": self.restarted,
+            "resumes": self.resumes,
+            "migrations": self.migrations,
+            "crashes": self.crashes,
+            "rss_mb": round(self.rss_mb, 3),
+            "open_fds": self.open_fds,
+            "threads": self.threads,
+        }
+
+
+@dataclass(frozen=True)
+class SoakReport:
+    """End-of-campaign rollup for one soak run.
+
+    ``digest`` is the attribution-only fleet digest (checkpoint bytes
+    excluded — under version alternation the envelope legitimately
+    differs); ``digest_full`` includes checkpoint bytes.
+    ``reference_digest``/``reference_digest_full`` come from the
+    uninterrupted reference run when one was performed ("" otherwise).
+    """
+
+    epochs: List[EpochStats]
+    shards: List[ShardReport]
+    digest: str
+    digest_full: str
+    reference_digest: str = ""
+    reference_digest_full: str = ""
+    restarts: int = 0
+    kills: int = 0
+    corruptions: int = 0
+    resumes: int = 0
+    migrations: int = 0
+    crashes: int = 0
+    rss_slope_mb: float = 0.0
+    resource_breaches: List[str] = field(default_factory=list)
+    samples: List[ResourceSample] = field(default_factory=list)
+
+    @property
+    def verified(self) -> bool:
+        """Attribution digests match the uninterrupted reference run."""
+        return bool(self.reference_digest) and (
+            self.digest == self.reference_digest
+        )
+
+    @property
+    def checkpoints_match(self) -> bool:
+        """Full digests (checkpoint bytes included) match the reference."""
+        return bool(self.reference_digest_full) and (
+            self.digest_full == self.reference_digest_full
+        )
+
+    @property
+    def healthy(self) -> bool:
+        """No resource ceiling or leak-budget violations."""
+        return not self.resource_breaches
+
+    def as_dict(self) -> dict:
+        return {
+            "epochs": [stats.as_dict() for stats in self.epochs],
+            "shards": [shard.as_dict() for shard in self.shards],
+            "digest": self.digest,
+            "digest_full": self.digest_full,
+            "reference_digest": self.reference_digest,
+            "reference_digest_full": self.reference_digest_full,
+            "verified": self.verified,
+            "restarts": self.restarts,
+            "kills": self.kills,
+            "corruptions": self.corruptions,
+            "resumes": self.resumes,
+            "migrations": self.migrations,
+            "crashes": self.crashes,
+            "rss_slope_mb": round(self.rss_slope_mb, 3),
+            "resource_breaches": list(self.resource_breaches),
+            "samples": [sample.as_dict() for sample in self.samples],
+        }
+
+
+def render_epoch_row(stats: EpochStats) -> str:
+    """One fixed-width table row for an epoch."""
+    return (
+        f"{stats.epoch:>5}  v{stats.version_written:<4}  "
+        f"{stats.windows:>7}  {stats.kills:>5}  {stats.corruptions:>7}  "
+        f"{'yes' if stats.restarted else '-':>7}  {stats.resumes:>7}  "
+        f"{stats.migrations:>8}  {stats.crashes:>7}  "
+        f"{stats.rss_mb:>8.1f}  {stats.open_fds:>5}  {stats.threads:>4}"
+    )
+
+
+def render_soak_table(epochs: Sequence[EpochStats]) -> str:
+    """The per-epoch trajectory table."""
+    lines = [_HEADER]
+    for stats in epochs:
+        lines.append(render_epoch_row(stats))
+    return "\n".join(lines)
+
+
+def render_soak_summary(report: SoakReport) -> str:
+    """End-of-campaign verdict: disruption totals, resources, digests."""
+    lines = [
+        f"soak: {len(report.epochs)} epochs · {report.restarts} restarts · "
+        f"{report.kills} kills · {report.corruptions} corruptions · "
+        f"{report.resumes} resumes ({report.migrations} migrated) · "
+        f"{report.crashes} crashes",
+        f"resources: rss slope {report.rss_slope_mb:+.2f} MiB/epoch · "
+        + (
+            f"{len(report.resource_breaches)} ceiling breaches"
+            if report.resource_breaches
+            else "all ceilings held"
+        ),
+    ]
+    for breach in report.resource_breaches:
+        lines.append(f"  breach: {breach}")
+    lines.append(f"soak digest: {report.digest}")
+    if report.reference_digest:
+        lines.append(f"reference digest: {report.reference_digest}")
+        lines.append(
+            "verdict: "
+            + (
+                "MATCH — disrupted campaign reproduced the reference run"
+                if report.verified
+                else "MISMATCH — disruption changed the science"
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,204 @@
+"""Resource sentinel: per-epoch RSS / FD / thread sampling with ceilings.
+
+Long-horizon soak runs fail slowly — a few kilobytes of retained state
+per restart, one leaked file descriptor per rotation — so the
+:class:`ResourceSentinel` samples the *process* (resident set size, open
+file descriptors, live threads) once per epoch, records the trajectory
+into the metrics registry, publishes a ``resource`` event on the bus
+(which the :class:`~repro.obs.slo.SloWatchdog` turns into a
+``resource_ceiling`` SLO breach when a ceiling is crossed), and fits a
+least-squares RSS slope across epochs so a steady leak fails the run
+even when no single sample crosses its ceiling.
+
+Readings come from ``/proc/self`` on Linux with a portable
+``resource.getrusage`` fallback, and degrade to zero (never raise) on
+platforms that expose neither — the sentinel observes the campaign, it
+must not be able to crash it.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..obs import Observability, record_resource_sample
+
+_BYTES_PER_MB = 1024 * 1024
+
+
+def read_rss_mb() -> float:
+    """Resident set size in MiB (``/proc/self/status`` VmRSS, with a
+    ``getrusage`` fallback)."""
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return float(line.split()[1]) / 1024.0
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        # ru_maxrss is KiB on Linux, bytes on macOS; either way it is a
+        # peak, which only over-reports — safe for a ceiling check.
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if peak > 1 << 32:  # plausibly bytes
+            return peak / _BYTES_PER_MB
+        return peak / 1024.0
+    except Exception:
+        return 0.0
+
+
+def count_open_fds() -> int:
+    """Open file descriptors (``/proc/self/fd``; 0 when unreadable)."""
+    try:
+        return len(os.listdir("/proc/self/fd"))
+    except OSError:
+        return 0
+
+
+@dataclass(frozen=True)
+class ResourceCeilings:
+    """Per-sample ceilings plus the cross-epoch RSS leak budget.
+
+    A ceiling of 0 disables that check.  ``rss_slope_mb_per_epoch``
+    bounds the least-squares RSS growth across the whole campaign: a
+    process that gains more than this many MiB per epoch on trend is
+    leaking, even if it never touches ``rss_mb``.
+    """
+
+    rss_mb: float = 4096.0
+    open_fds: int = 1024
+    threads: int = 128
+    rss_slope_mb_per_epoch: float = 64.0
+
+
+@dataclass(frozen=True)
+class ResourceSample:
+    """One per-epoch reading of the process's resource footprint."""
+
+    epoch: int
+    rss_mb: float
+    open_fds: int
+    threads: int
+
+    def as_dict(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "rss_mb": round(self.rss_mb, 3),
+            "open_fds": self.open_fds,
+            "threads": self.threads,
+        }
+
+
+@dataclass
+class ResourceSentinel:
+    """Samples process resources each epoch and asserts the ceilings.
+
+    Wire the same :class:`~repro.obs.Observability` bundle the fleet
+    uses: samples land in the registry as ``repro_resource_*`` gauges
+    and on the bus as ``resource`` events, so a watchdog built from
+    :data:`~repro.obs.slo.SOAK_SLOS` flips ``/readyz`` when a ceiling
+    is crossed.
+    """
+
+    ceilings: ResourceCeilings = ResourceCeilings()
+    obs: Observability = field(default_factory=Observability)
+    samples: List[ResourceSample] = field(default_factory=list)
+
+    def sample(self, epoch: int) -> ResourceSample:
+        """Take one reading, record it, and publish its utilization."""
+        reading = ResourceSample(
+            epoch=epoch,
+            rss_mb=read_rss_mb(),
+            open_fds=count_open_fds(),
+            threads=threading.active_count(),
+        )
+        self.samples.append(reading)
+        if self.obs.registry is not None:
+            record_resource_sample(
+                self.obs.registry,
+                rss_bytes=reading.rss_mb * _BYTES_PER_MB,
+                open_fds=reading.open_fds,
+                threads=reading.threads,
+            )
+        utilization, worst = self.utilization(reading)
+        if self.obs.bus is not None:
+            self.obs.bus.publish(
+                "resource",
+                epoch=epoch,
+                rss_mb=round(reading.rss_mb, 3),
+                open_fds=reading.open_fds,
+                threads=reading.threads,
+                ceiling_utilization=round(utilization, 6),
+                worst_resource=worst,
+            )
+        return reading
+
+    def utilization(self, reading: ResourceSample) -> Tuple[float, str]:
+        """``(worst fraction-of-ceiling, resource name)`` for one sample."""
+        fractions = []
+        if self.ceilings.rss_mb > 0:
+            fractions.append((reading.rss_mb / self.ceilings.rss_mb, "rss"))
+        if self.ceilings.open_fds > 0:
+            fractions.append(
+                (reading.open_fds / self.ceilings.open_fds, "open_fds")
+            )
+        if self.ceilings.threads > 0:
+            fractions.append(
+                (reading.threads / self.ceilings.threads, "threads")
+            )
+        if not fractions:
+            return 0.0, "none"
+        return max(fractions)
+
+    def rss_slope_mb(self) -> float:
+        """Least-squares RSS growth in MiB per epoch across all samples."""
+        count = len(self.samples)
+        if count < 2:
+            return 0.0
+        xs = [float(s.epoch) for s in self.samples]
+        ys = [s.rss_mb for s in self.samples]
+        mean_x = sum(xs) / count
+        mean_y = sum(ys) / count
+        denominator = sum((x - mean_x) ** 2 for x in xs)
+        if denominator == 0:
+            return 0.0
+        numerator = sum(
+            (x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)
+        )
+        return numerator / denominator
+
+    def breaches(self) -> List[str]:
+        """Human-readable ceiling violations across the whole campaign."""
+        found: List[str] = []
+        for reading in self.samples:
+            if 0 < self.ceilings.rss_mb < reading.rss_mb:
+                found.append(
+                    f"epoch {reading.epoch}: rss {reading.rss_mb:.0f} MiB "
+                    f"over ceiling {self.ceilings.rss_mb:.0f} MiB"
+                )
+            if 0 < self.ceilings.open_fds < reading.open_fds:
+                found.append(
+                    f"epoch {reading.epoch}: {reading.open_fds} open fds "
+                    f"over ceiling {self.ceilings.open_fds}"
+                )
+            if 0 < self.ceilings.threads < reading.threads:
+                found.append(
+                    f"epoch {reading.epoch}: {reading.threads} threads "
+                    f"over ceiling {self.ceilings.threads}"
+                )
+        slope = self.rss_slope_mb()
+        budget = self.ceilings.rss_slope_mb_per_epoch
+        if 0 < budget < slope:
+            found.append(
+                f"rss slope {slope:.1f} MiB/epoch over budget "
+                f"{budget:.1f} MiB/epoch"
+            )
+        return found
+
+    def latest(self) -> Optional[ResourceSample]:
+        """The most recent sample, if any."""
+        return self.samples[-1] if self.samples else None

@@ -1,0 +1,159 @@
+"""Soak campaign specifications: epochs, disruptions, and ceilings.
+
+A soak run is a *long-horizon* fleet campaign — simulated weeks — cut
+into deterministic epochs.  :class:`SoakSpec` wraps a
+:class:`~repro.fleet.spec.FleetSpec` with everything the
+:class:`~repro.soak.runner.SoakRunner` needs to make each epoch
+hostile: which epochs restart the whole process, how hard the seeded
+kill and checkpoint-corruption draws strike, how fast the fault plan
+escalates, how many extra tenants churn in and out mid-campaign, and
+the resource ceilings the :class:`~repro.soak.sentinel.ResourceSentinel`
+asserts.
+
+Like every spec in this repo it is frozen and fully seeded: the event
+stream (:meth:`SoakSpec.events`) is built once and shared between the
+disrupted campaign and its uninterrupted reference run, so the final
+fleet digests are comparable byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+from ..errors import FleetError
+from ..fleet.spec import AttackSpec, FleetSpec
+from ..fleet.stream import EVICT, FleetEvent, launch_event, merge_streams
+from .sentinel import ResourceCeilings
+
+
+@dataclass(frozen=True)
+class SoakSpec:
+    """Frozen recipe for one soak campaign.
+
+    Attributes:
+        fleet: the underlying campaign (must checkpoint:
+            ``checkpoint_every >= 1`` — restarts resume from disk).
+        epochs: number of epochs; the last one drains the fleet to
+            completion, the others stop at their simulated-minute
+            horizon.
+        epoch_minutes: simulated minutes per epoch.
+        restart_every: tear the runtime down (process-style restart:
+            every shard resumes from its checkpoint) after every Nth
+            non-final epoch (0 = never restart).
+        kill_rate: per-shard probability of a scripted hard kill at each
+            non-final epoch boundary (seeded draw; kills auto-resume).
+        corrupt_rate: per-shard probability that the checkpoint primary
+            is mangled just before a restart (seeded draw; only fires
+            when an intact rotated generation exists to roll back to).
+        fault_plan: bundled fault-plan name escalated across epochs
+            (restricted to result-preserving infra faults; "" disables).
+        escalation_base / escalation_growth: the per-epoch scale curve
+            (:func:`~repro.faults.plan.escalation_curve`).
+        churn_tenants: extra tenants launched at later epoch boundaries
+            and evicted two epochs after they appear (tenant add/evict
+            churn; part of the shared event stream, so the reference run
+            sees the identical churn).
+        alternate_versions: write checkpoint schema v1 during odd epochs
+            (the rolling-upgrade drill — restarts then migrate v1
+            documents back up on load).
+        ceilings: resource ceilings the sentinel asserts each epoch.
+    """
+
+    fleet: FleetSpec
+    epochs: int = 4
+    epoch_minutes: float = 60.0
+    restart_every: int = 1
+    kill_rate: float = 0.35
+    corrupt_rate: float = 0.0
+    fault_plan: str = "soak-infra"
+    escalation_base: float = 0.5
+    escalation_growth: float = 0.5
+    churn_tenants: int = 0
+    alternate_versions: bool = True
+    ceilings: ResourceCeilings = ResourceCeilings()
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise FleetError("a soak campaign needs at least one epoch")
+        if self.epoch_minutes <= 0:
+            raise FleetError("epoch_minutes must be positive")
+        if self.fleet.checkpoint_every < 1:
+            raise FleetError(
+                "soak campaigns need periodic checkpoints "
+                "(fleet.checkpoint_every >= 1) — restarts resume from disk"
+            )
+        if self.restart_every < 0:
+            raise FleetError("restart_every cannot be negative")
+        for name, rate in (
+            ("kill_rate", self.kill_rate),
+            ("corrupt_rate", self.corrupt_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise FleetError(f"{name} must be in [0, 1]")
+        if self.escalation_base < 0 or self.escalation_growth < 0:
+            raise FleetError("escalation factors cannot be negative")
+        if self.churn_tenants < 0:
+            raise FleetError("churn_tenants cannot be negative")
+
+    # -- derivation -----------------------------------------------------
+
+    def horizons(self) -> List[Optional[float]]:
+        """Per-epoch simulated-minute horizons (None = drain to done)."""
+        return [
+            self.epoch_minutes * (epoch + 1)
+            for epoch in range(self.epochs - 1)
+        ] + [None]
+
+    def churn_attacks(self) -> List[AttackSpec]:
+        """The churn tenants' attacks, launch minutes at epoch boundaries.
+
+        Extra tenants are derived by widening the fleet spec, so their
+        seeds come from the same stable per-shard derivation — and the
+        base tenants' traffic is untouched (derived seeds depend on the
+        shard key, never on tenant counts).
+        """
+        if self.churn_tenants == 0:
+            return []
+        wide = replace(
+            self.fleet, tenants=self.fleet.tenants + self.churn_tenants
+        )
+        base = set(self.fleet.tenant_names())
+        span = max(1, self.epochs - 1)
+        extra_names = [
+            name for name in wide.tenant_names() if name not in base
+        ]
+        boundary = {
+            name: self.epoch_minutes * (1 + (index % span))
+            for index, name in enumerate(extra_names)
+        }
+        return [
+            replace(attack, launch_minute=boundary[attack.tenant])
+            for attack in wide.attacks()
+            if attack.tenant not in base
+        ]
+
+    def events(self) -> List[FleetEvent]:
+        """The canonical merged stream: base launches, churn launches,
+        and churn evictions two epochs after each churn launch.
+
+        Shared verbatim by the disrupted campaign and the uninterrupted
+        reference run; restarts, kills, and corruption are *not* stream
+        events — they are runner-side disruptions that must not change
+        what the stream describes.
+        """
+        churn = self.churn_attacks()
+        evictions = [
+            FleetEvent(
+                minute=attack.launch_minute + 2 * self.epoch_minutes,
+                action=EVICT,
+                tenant=attack.tenant,
+                prefix=attack.prefix,
+            )
+            for attack in churn
+        ]
+        return merge_streams(
+            [launch_event(attack) for attack in self.fleet.attacks()],
+            [launch_event(attack) for attack in churn],
+            evictions,
+        )

@@ -2,17 +2,47 @@
 
 import dataclasses
 import json
+import os
+import shutil
 
 import pytest
 
-from repro.errors import LiveServiceError
+from repro.errors import CheckpointCorruptionError, LiveServiceError
 from repro.live import (
     LiveTracebackService,
     ReplayScenario,
     load_checkpoint,
     save_checkpoint,
 )
-from repro.live.checkpoint import backup_path, shard_checkpoint_path
+from repro.live.checkpoint import (
+    CHECKPOINT_VERSION,
+    _canonical_json,
+    backup_path,
+    generation_path,
+    register_downgrade,
+    register_migration,
+    rotate_generations,
+    shard_checkpoint_path,
+    writing_version,
+)
+
+FIXTURE_V1 = os.path.join(
+    os.path.dirname(__file__), "fixtures", "checkpoint_v1.json"
+)
+
+
+def _small_scenario(path: str, **overrides) -> ReplayScenario:
+    """The small deterministic replay the migration tests checkpoint."""
+    base = dict(
+        seed=5,
+        max_configs=3,
+        min_configs=1,
+        adaptive=False,
+        checkpoint_every=5,
+        checkpoint_path=path,
+    )
+    base.update(overrides)
+    return ReplayScenario(**base)
 
 
 @pytest.fixture(scope="module")
@@ -238,6 +268,211 @@ class TestShardNamespacing:
         restored = load_checkpoint(moved)
         assert restored.scenario.checkpoint_path == moved
         restored.close()
+
+
+class TestSchemaVersioning:
+    """The migration registry: v1 documents keep loading forever."""
+
+    def test_current_documents_carry_a_written_by_envelope(
+        self, small_testbed, tmp_path
+    ):
+        path = str(tmp_path / "v2.json")
+        service = LiveTracebackService(
+            scenario=_small_scenario(path), testbed=small_testbed
+        )
+        service.run()
+        service.close()
+        payload = json.load(open(path))["payload"]
+        assert payload["version"] == CHECKPOINT_VERSION == 2
+        assert payload["written_by"]["library"] == "repro"
+        assert payload["written_by"]["schema"] == CHECKPOINT_VERSION
+
+    def test_writing_version_emits_v1_and_load_migrates(
+        self, small_testbed, tmp_path
+    ):
+        path = str(tmp_path / "v1.json")
+        service = LiveTracebackService(
+            scenario=_small_scenario(path), testbed=small_testbed
+        )
+        with writing_version(1):
+            full = service.run()
+        service.close()
+        payload = json.load(open(path))["payload"]
+        assert payload["version"] == 1
+        assert "written_by" not in payload
+        restored = load_checkpoint(path)
+        assert restored.checkpoint_migrated_from == 1
+        # The restored service saves *current*-schema documents again.
+        save_checkpoint(restored, path)
+        assert json.load(open(path))["payload"]["version"] == (
+            CHECKPOINT_VERSION
+        )
+        resumed = restored.run()
+        restored.close()
+        assert resumed.run_stats == full.run_stats
+
+    def test_golden_v1_fixture_matches_native_v2_run(
+        self, small_testbed, tmp_path
+    ):
+        """The committed v1 fixture must restore — and attribute
+        identically to a from-scratch run — on every future build."""
+        from repro.fleet.shard import attribution_digest
+
+        path = str(tmp_path / "checkpoint_v1.json")
+        shutil.copy(FIXTURE_V1, path)
+        restored = load_checkpoint(path)
+        assert restored.checkpoint_migrated_from == 1
+        resumed = restored.run()
+        restored.close()
+        native = LiveTracebackService(
+            scenario=_small_scenario(str(tmp_path / "native.json")),
+            testbed=small_testbed,
+        )
+        full = native.run()
+        native.close()
+        assert attribution_digest(resumed) == attribution_digest(full)
+
+    def test_version_mismatched_primary_falls_back_to_generation(
+        self, small_testbed, tmp_path
+    ):
+        """Satellite bugfix: a bad version routes through the same
+        fallback walk as corruption instead of raising immediately."""
+        path = str(tmp_path / "mixed.json")
+        service = LiveTracebackService(
+            scenario=_small_scenario(path), testbed=small_testbed
+        )
+        full = service.run()
+        service.close()
+        document = json.load(open(path))
+        document["payload"]["version"] = 999  # future schema, intact bytes
+        from repro.faults.resilience import content_checksum
+
+        document["checksum"] = content_checksum(
+            _canonical_json(document["payload"])
+        )
+        with open(path, "w") as handle:
+            handle.write(_canonical_json(document))
+        restored = load_checkpoint(path)
+        assert restored.restored_via_rollback
+        resumed = restored.run()
+        restored.close()
+        assert resumed.run_stats == full.run_stats
+
+    def test_version_only_failure_is_not_corruption(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"version": 999}))
+        with pytest.raises(LiveServiceError) as excinfo:
+            load_checkpoint(str(path), allow_rollback=False)
+        assert not isinstance(excinfo.value, CheckpointCorruptionError)
+        assert "newer than this build" in str(excinfo.value)
+
+    def test_registry_validates_direction(self):
+        with pytest.raises(LiveServiceError):
+            register_migration(2, 1, lambda payload: payload)
+        with pytest.raises(LiveServiceError):
+            register_downgrade(1, 2, lambda payload: payload)
+
+    def test_writing_version_rejects_unreachable_targets(self):
+        with pytest.raises(LiveServiceError):
+            with writing_version(-3):
+                pass
+
+
+class TestGenerationRotation:
+    """Satellite bugfix: retention-aware rotation instead of one
+    immortal ``.bak``."""
+
+    def test_keep_bounds_the_generations(self, small_testbed, tmp_path):
+        path = str(tmp_path / "rotated.json")
+        service = LiveTracebackService(
+            scenario=_small_scenario(path, checkpoint_every=3),
+            testbed=small_testbed,
+        )
+        service.checkpoint_keep = 2
+        service.run()  # 12 windows / cadence 3: four rotations
+        service.close()
+        assert os.path.exists(path)
+        assert os.path.exists(generation_path(path, 1))
+        assert os.path.exists(generation_path(path, 2))
+        assert not os.path.exists(generation_path(path, 3))
+
+    def test_default_keep_retains_exactly_one_generation(
+        self, checkpointed
+    ):
+        _, _, path = checkpointed
+        assert os.path.exists(backup_path(path))
+        assert not os.path.exists(generation_path(path, 2))
+
+    def test_shrinking_keep_prunes_stale_generations(self, tmp_path):
+        path = str(tmp_path / "shrink.json")
+        for name in (path, f"{path}.1", f"{path}.2", f"{path}.3"):
+            with open(name, "w") as handle:
+                handle.write("{}")
+        rotate_generations(path, keep=1)
+        assert os.path.exists(generation_path(path, 1))
+        assert not os.path.exists(generation_path(path, 2))
+        assert not os.path.exists(generation_path(path, 3))
+
+    def test_rollback_walks_generations_newest_first(
+        self, small_testbed, tmp_path
+    ):
+        path = str(tmp_path / "walk.json")
+        service = LiveTracebackService(
+            scenario=_small_scenario(path, checkpoint_every=3),
+            testbed=small_testbed,
+        )
+        service.checkpoint_keep = 3
+        full = service.run()
+        service.close()
+        # Damage the primary AND the newest generation: recovery must
+        # keep walking to ``.2``.
+        for victim in (path, generation_path(path, 1)):
+            with open(victim, "w") as handle:
+                handle.write('{"torn":')
+        restored = load_checkpoint(path)
+        assert restored.restored_via_rollback
+        resumed = restored.run()
+        restored.close()
+        assert resumed.run_stats == full.run_stats
+
+    def test_legacy_bak_still_loads(self, small_testbed, tmp_path):
+        path = str(tmp_path / "legacy.json")
+        service = LiveTracebackService(
+            scenario=_small_scenario(path), testbed=small_testbed
+        )
+        service.run()
+        service.close()
+        # Simulate a directory written by the pre-generation release:
+        # only a primary and a ``.bak``.
+        shutil.copy(path, f"{path}.bak")
+        os.remove(generation_path(path, 1))
+        with open(path, "w") as handle:
+            handle.write("damaged")
+        restored = load_checkpoint(path)
+        assert restored.restored_via_rollback
+        restored.close()
+
+    def test_rotation_prunes_superseded_legacy_bak(
+        self, small_testbed, tmp_path
+    ):
+        path = str(tmp_path / "prune.json")
+        service = LiveTracebackService(
+            scenario=_small_scenario(path), testbed=small_testbed
+        )
+        service.run()
+        service.close()
+        shutil.copy(path, f"{path}.bak")
+        rotate_generations(path, keep=1)
+        assert not os.path.exists(f"{path}.bak")
+        assert os.path.exists(generation_path(path, 1))
+
+    def test_rotation_rejects_zero_retention(self, tmp_path):
+        with pytest.raises(LiveServiceError):
+            rotate_generations(str(tmp_path / "x.json"), keep=0)
+
+    def test_generation_numbers_start_at_one(self):
+        with pytest.raises(LiveServiceError):
+            generation_path("x.json", 0)
 
 
 class TestErrors:
