@@ -286,6 +286,7 @@ def _cmd_track(args: argparse.Namespace) -> int:
         distribution=args.distribution,
         sources=args.sources,
         split_threshold=args.split_threshold,
+        strategy=args.strategy,
     )
     health = {"report": None}
     server = _start_server(
@@ -309,6 +310,7 @@ def _cmd_track(args: argparse.Namespace) -> int:
             placement=placement,
             measured=args.measured,
             split_threshold=args.split_threshold,
+            strategy=args.strategy,
         )
     finally:
         tracker.engine.close()
@@ -319,6 +321,51 @@ def _cmd_track(args: argparse.Namespace) -> int:
     print(report.summary())
     true_sources = ", ".join(str(asn) for asn in sorted(placement.spoofing_ases))
     print(f"ground-truth source ASes: {true_sources}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .strategy import available_strategies, compare_strategies, strategy_class
+
+    if args.strategies:
+        names = [name.strip() for name in args.strategies.split(",") if name.strip()]
+    else:
+        names = available_strategies()
+    for name in names:
+        strategy_class(name)  # fail fast, before the measurement pass
+    obs = _make_obs(args, "compare")
+    log = _logbook_for(args, obs)
+    manifest = _manifest_for(
+        args,
+        "compare",
+        max_configs=args.max_configs,
+        strategies=",".join(names),
+    )
+    server = _start_server(args, obs, log, manifest=manifest)
+    testbed = build_testbed(seed=args.seed, topology_params=SCALES[args.scale])
+    if server is not None:
+        server.set_ready()
+    report = compare_strategies(
+        testbed,
+        strategies=names,
+        max_configs=args.max_configs,
+        workers=args.workers,
+        obs=obs,
+    )
+    _export_obs(args, obs, log)
+    _finish_server(args, server, obs, log)
+    print(
+        f"racing {len(report.outcomes)} strategies over "
+        f"{report.candidate_configs} candidate configurations, "
+        f"{report.universe_size} sources (seed {report.seed})"
+    )
+    if report.engine_stats is not None:
+        print(f"shared measurement pass  : {report.engine_stats.summary()}")
+    print()
+    print(report.table())
+    if args.json:
+        report.write_json(args.json)
+        log.info(f"wrote {args.json}", event="export", path=args.json)
     return 0
 
 
@@ -442,6 +489,7 @@ def _cmd_live(args: argparse.Namespace) -> int:
             queue_capacity=args.queue_capacity,
             drop_policy=args.drop_policy,
             adaptive=not args.in_order,
+            strategy=args.strategy,
             min_configs=args.min_configs,
             stop_entropy=args.stop_entropy,
             stop_volume_share=args.stop_volume_share,
@@ -1054,6 +1102,8 @@ def build_parser() -> argparse.ArgumentParser:
     tables = subparsers.add_parser("tables", help="print Tables I and II")
     tables.set_defaults(func=_cmd_tables)
 
+    from .strategy import available_strategies
+
     track = subparsers.add_parser("track", help="run the localization pipeline")
     track.add_argument(
         "--distribution",
@@ -1068,10 +1118,45 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="run the §V-B large-cluster splitter on clusters above this size",
     )
+    track.add_argument(
+        "--strategy",
+        choices=available_strategies(),
+        default=None,
+        help=(
+            "plan the deployment order with this traceback strategy "
+            "(default: schedule order)"
+        ),
+    )
     add_run_options(track)
     add_fault_plan(track)
     add_obs_options(track)
     track.set_defaults(func=_cmd_track)
+
+    compare = subparsers.add_parser(
+        "compare",
+        help="race registered traceback strategies on one seeded testbed",
+    )
+    compare.add_argument(
+        "--strategies",
+        default=None,
+        metavar="NAMES",
+        help=(
+            "comma-separated registry names to race "
+            f"(default: all of {', '.join(available_strategies())})"
+        ),
+    )
+    compare.add_argument(
+        "--max-configs", type=int, default=None, help="truncate the schedule"
+    )
+    compare.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the ranked results as a JSON artifact",
+    )
+    add_workers(compare)
+    add_obs_options(compare)
+    compare.set_defaults(func=_cmd_compare)
 
     profile = subparsers.add_parser(
         "profile",
@@ -1134,6 +1219,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--in-order",
         action="store_true",
         help="deploy configurations in schedule order (no adaptive reordering)",
+    )
+    live.add_argument(
+        "--strategy",
+        choices=available_strategies(),
+        default="greedy",
+        help="traceback strategy the adaptive controller consults",
     )
     live.add_argument(
         "--min-configs",

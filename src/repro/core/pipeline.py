@@ -243,6 +243,8 @@ class TrackerReport:
         manifest: frozen run inputs + environment
             (:class:`~repro.obs.manifest.RunManifest`) when the run was
             launched through an instrumented entry point.
+        strategy: registry name of the traceback strategy that planned
+            the deployment order, when one did (None = schedule order).
     """
 
     universe: FrozenSet[ASN]
@@ -257,6 +259,7 @@ class TrackerReport:
     live_stats: Optional["LiveRunStats"] = None
     resilience: Optional["ResilienceReport"] = None
     manifest: Optional["RunManifest"] = None
+    strategy: Optional[str] = None
 
     @property
     def mean_cluster_size(self) -> float:
@@ -376,6 +379,7 @@ class SpoofTracker:
         measured: bool = False,
         split_threshold: Optional[int] = None,
         split_budget: int = 30,
+        strategy: Optional[str] = None,
     ) -> TrackerReport:
         """Deploy the schedule and build the report.
 
@@ -392,6 +396,14 @@ class SpoofTracker:
                 distant-poison configurations against clusters larger
                 than the threshold.
             split_budget: extra configurations the splitter may deploy.
+            strategy: registry name of a traceback strategy
+                (:func:`repro.strategy.available_strategies`) to plan the
+                deployment order from the measured catchments, §V-C
+                pre-attack style; the strategy may stop short of the full
+                schedule once nothing more can split.  None (or any
+                strategy that deploys in schedule order, like
+                ``"schedule"``) keeps the historical schedule-order run
+                untouched.
         """
         limit = len(self.schedule) if max_configs is None else max_configs
         configs = self.schedule[:limit]
@@ -454,6 +466,49 @@ class SpoofTracker:
             if span is not None:
                 span.set("universe", len(universe))
                 span.set("steps", len(catchment_history))
+
+        strategy_name = strategy
+        if strategy_name is not None:
+            from ..strategy import make_strategy, run_strategy, strategy_class
+
+            if strategy_class(strategy_name).deploys_in_schedule_order:
+                # The plan *is* the schedule — skip the planning pass so
+                # the default path stays byte-for-byte the historical run.
+                strategy_name = None
+            else:
+                with obs.phase("plan", strategy=strategy_name) as span:
+                    # Degraded links are lossy evidence; the planner must
+                    # not order the campaign around catchments that the
+                    # cluster phase will then refuse to refine with.
+                    planning_maps = [
+                        {
+                            link: members
+                            for link, members in maps.items()
+                            if link not in degraded
+                        }
+                        for maps, degraded in zip(
+                            catchment_history, degraded_by_step
+                        )
+                    ]
+                    seed = (
+                        self.testbed.spec.seed
+                        if self.testbed.spec is not None
+                        else 0
+                    )
+                    plan = run_strategy(
+                        make_strategy(strategy_name, seed=seed),
+                        sorted(universe),
+                        planning_maps,
+                        schedule=configs,
+                    )
+                    order = plan.order
+                    configs = [configs[i] for i in order]
+                    outcomes = [outcomes[i] for i in order]
+                    catchment_history = [catchment_history[i] for i in order]
+                    degraded_by_step = [degraded_by_step[i] for i in order]
+                    if span is not None:
+                        span.set("planned", len(order))
+                        span.set("stop", plan.stop_reason)
 
         with obs.phase("cluster") as span:
             state = ClusterState(universe)
@@ -617,4 +672,5 @@ class SpoofTracker:
             split_report=split_report,
             engine_stats=self.engine.stats.since(stats_before),
             resilience=resilience,
+            strategy=strategy_name,
         )

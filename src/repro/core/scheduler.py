@@ -22,7 +22,16 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..errors import SchedulingError
 from ..types import ASN, Catchment, LinkId
@@ -30,6 +39,7 @@ from .clustering import ClusterState
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from ..bgp.announcement import AnnouncementConfig
+    from ..strategy import TracebackStrategy
     from .engine import SimulationEngine
 
 
@@ -194,35 +204,40 @@ class GreedyScheduler:
             state, (members for _, members in self._restricted[config_index])
         )
 
+    def _make_strategy(self) -> "TracebackStrategy":
+        """The plugin this scheduler drives (hook for subclasses)."""
+        from ..strategy import GreedyStrategy
+
+        return GreedyStrategy()
+
     def run(
         self, max_steps: Optional[int] = None
     ) -> Tuple[List[int], List[float]]:
         """Greedy deployment; returns (order, mean-size curve).
 
         Stops early when no remaining configuration splits anything.
+        Delegates to the ``greedy`` strategy plugin bound to the
+        pre-restricted catchment maps — with no volume evidence its
+        lexicographic score reduces exactly to the historical split-gain
+        greedy, so order and curve are bit-identical to the pre-plugin
+        scheduler.
         """
-        steps = len(self.catchment_history) if max_steps is None else min(
-            max_steps, len(self.catchment_history)
+        from ..strategy import run_strategy
+
+        strategy = self._make_strategy()
+        strategy.bind([dict(pairs) for pairs in self._restricted])
+        result = run_strategy(
+            strategy,
+            self.universe,
+            max_steps=max_steps,
+            curve_metric=self._curve_metric(),
+            check_converged=False,
         )
-        state = ClusterState(self.universe)
-        remaining = set(range(len(self.catchment_history)))
-        order: List[int] = []
-        curve: List[float] = []
-        for _ in range(steps):
-            best_index = None
-            best_gain = 0
-            for index in sorted(remaining):
-                gain = self._gain(state, index)
-                if gain > best_gain:
-                    best_gain = gain
-                    best_index = index
-            if best_index is None:
-                break
-            remaining.discard(best_index)
-            state.refine_with_catchments(self.catchment_history[best_index])
-            order.append(best_index)
-            curve.append(state.mean_size())
-        return order, curve
+        return result.order, result.curve
+
+    def _curve_metric(self) -> Optional[Callable[[ClusterState], float]]:
+        """Per-step curve value; None = mean cluster size."""
+        return None
 
 
 class VolumeAwareGreedyScheduler(GreedyScheduler):
@@ -230,7 +245,15 @@ class VolumeAwareGreedyScheduler(GreedyScheduler):
 
     Clusters inferred to carry more spoofed traffic get proportionally
     more utility from being split (paper §VIII: "jointly optimizing for
-    cluster size and traffic volume").
+    cluster size and traffic volume").  The returned curve reports the
+    weighted cost after each step.
+
+    Delegates to the ``volume-greedy`` strategy plugin, which scores
+    candidates by the lexicographic ``(weighted reduction, split gain)``
+    tuple — so with an empty or all-zero volume estimate the schedule
+    falls back to the unweighted §V-C split gain instead of dead-stopping
+    with an empty order (the historical ``cost < best_cost`` bug, where
+    a degenerate weighted cost of zero could never strictly improve).
 
     Args:
         universe: sources to partition.
@@ -256,53 +279,41 @@ class VolumeAwareGreedyScheduler(GreedyScheduler):
             cost += volume * len(cluster)
         return cost
 
-    def run(
-        self, max_steps: Optional[int] = None
-    ) -> Tuple[List[int], List[float]]:
-        """Greedy deployment on the weighted objective.
+    def _make_strategy(self) -> "TracebackStrategy":
+        from ..strategy import VolumeGreedyStrategy
 
-        The returned curve reports the weighted cost after each step.
-        """
-        steps = len(self.catchment_history) if max_steps is None else min(
-            max_steps, len(self.catchment_history)
-        )
-        state = ClusterState(self.universe)
-        remaining = set(range(len(self.catchment_history)))
-        order: List[int] = []
-        curve: List[float] = []
-        current_cost = self._weighted_cost(state)
-        for _ in range(steps):
-            best_index = None
-            best_cost = current_cost
-            for index in sorted(remaining):
-                working = state.copy()
-                working.refine_with_catchments(self.catchment_history[index])
-                cost = self._weighted_cost(working)
-                if cost < best_cost:
-                    best_cost = cost
-                    best_index = index
-            if best_index is None:
-                break
-            remaining.discard(best_index)
-            state.refine_with_catchments(self.catchment_history[best_index])
-            current_cost = best_cost
-            order.append(best_index)
-            curve.append(current_cost)
-        return order, curve
+        return VolumeGreedyStrategy(volume_by_as=self.volume_by_as)
+
+    def _curve_metric(self) -> Optional[Callable[[ClusterState], float]]:
+        return self._weighted_cost
 
 
 def percentile_curve(
     curves: Sequence[Sequence[float]], percentile: float
 ) -> List[float]:
-    """Per-step percentile across many curves (Figure 8's bands)."""
+    """Per-step percentile across many curves (Figure 8's bands).
+
+    Curves may differ in length — a schedule that converged early simply
+    stopped deploying, and its metric holds at the final value from then
+    on.  Short curves are therefore padded with their last value out to
+    the longest curve (rather than truncating every curve to the
+    shortest, which silently dropped the tail of long runs whenever one
+    sequence converged quickly).  Empty curves contribute nothing.
+    """
     if not curves:
         raise SchedulingError("no curves to aggregate")
     if not 0.0 <= percentile <= 100.0:
         raise ValueError("percentile must be in [0, 100]")
-    length = min(len(curve) for curve in curves)
+    length = max(len(curve) for curve in curves)
     result: List[float] = []
     for step in range(length):
-        values = sorted(curve[step] for curve in curves)
+        values = sorted(
+            curve[step] if step < len(curve) else curve[-1]
+            for curve in curves
+            if curve
+        )
+        if not values:
+            break
         rank = (percentile / 100.0) * (len(values) - 1)
         low = int(rank)
         high = min(low + 1, len(values) - 1)

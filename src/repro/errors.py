@@ -52,6 +52,10 @@ class SchedulingError(ReproError):
     """Raised when an announcement schedule cannot be constructed."""
 
 
+class StrategyError(ReproError):
+    """Raised when a traceback strategy is misused or unknown."""
+
+
 class DataFormatError(ReproError):
     """Raised when an on-disk dataset (as-rel, paths, traces) is malformed."""
 

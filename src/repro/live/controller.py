@@ -3,12 +3,18 @@
 During an attack every configuration costs real time — a
 :class:`~repro.core.timeline.CampaignTimeline` dwell — so the order
 matters and so does knowing when more configurations cannot help.  The
-controller drives the scheduler adaptively:
+controller owns the dwell ledger, stop thresholds, and remeasurement
+bookkeeping, and delegates the *selection* decision to a pluggable
+:class:`~repro.strategy.TracebackStrategy` (chosen by registry name via
+``ControllerPolicy.strategy``; default ``"greedy"``):
 
-* **reorder** — among the remaining configurations, deploy the one whose
-  catchments most reduce the volume-weighted cluster cost (the §VIII
-  volume-aware objective, fed by the live attributor's rolling estimates;
-  falls back to plain split gain before any volume has been attributed),
+* **reorder** — among the remaining configurations, deploy the one the
+  strategy proposes; the default greedy plugin maximizes the
+  lexicographic ``(weighted cost reduction, split gain)`` score against
+  the live attributor's rolling volume estimates (the §VIII volume-aware
+  objective, falling back to plain split gain before any volume has been
+  attributed — as an explicit tuple component, not a ``* 1e-9`` scaled
+  score that float noise could outrank),
 * **short-circuit** — stop when no remaining configuration can split
   anything, when attribution entropy collapsed below a threshold, or when
   the top cluster concentrates enough estimated volume,
@@ -23,11 +29,10 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..bgp.announcement import AnnouncementConfig
-from ..core.clustering import ClusterState
-from ..core.scheduler import refinement_gain
 from ..core.timeline import CampaignTimeline
 from ..errors import LiveServiceError
-from ..types import ASN, Catchment, LinkId
+from ..strategy import TracebackStrategy, make_strategy
+from ..types import Catchment, LinkId
 from .attributor import LiveAttributor
 
 
@@ -38,6 +43,11 @@ class ControllerPolicy:
     Attributes:
         adaptive: reorder remaining configurations by expected utility
             (False = deploy in schedule order, the batch behaviour).
+        strategy: registry name of the traceback strategy consulted when
+            ``adaptive`` (default the paper's greedy; see
+            :func:`repro.strategy.available_strategies`).
+        strategy_seed: seed handed to the strategy for any internal
+            randomness (e.g. the ``random`` baseline's shuffle).
         min_configs: never short-circuit before this many configurations.
         stop_entropy: stop once attribution entropy (bits) falls below
             this (None = never stop on entropy).
@@ -49,6 +59,8 @@ class ControllerPolicy:
     """
 
     adaptive: bool = True
+    strategy: str = "greedy"
+    strategy_seed: int = 0
     min_configs: int = 3
     stop_entropy: Optional[float] = None
     stop_volume_share: Optional[float] = None
@@ -81,6 +93,9 @@ class AdaptiveController:
         registry: optional :class:`~repro.obs.metrics.MetricsRegistry`;
             selection and remeasurement decisions are counted as they
             happen (per-phase selection counters, remeasure triggers).
+        strategy: a pre-built (unbound) strategy instance; default is
+            built from ``policy.strategy`` / ``policy.strategy_seed``
+            through the registry.
     """
 
     def __init__(
@@ -91,6 +106,7 @@ class AdaptiveController:
         policy: Optional[ControllerPolicy] = None,
         registry=None,
         bus=None,
+        strategy: Optional[TracebackStrategy] = None,
     ) -> None:
         if len(schedule) != len(catchment_maps):
             raise LiveServiceError(
@@ -100,70 +116,63 @@ class AdaptiveController:
         if not schedule:
             raise LiveServiceError("controller needs a non-empty schedule")
         self.schedule = list(schedule)
-        self.catchment_maps = [dict(maps) for maps in catchment_maps]
         self.timeline = timeline or CampaignTimeline()
         self.policy = policy or ControllerPolicy()
         self.registry = registry
         self.bus = bus
-        self.remaining: List[int] = list(range(len(self.schedule)))
+        self.strategy = strategy if strategy is not None else make_strategy(
+            self.policy.strategy, seed=self.policy.strategy_seed
+        )
+        if not self.strategy.bound:
+            self.strategy.bind(catchment_maps, schedule=self.schedule)
         self.configs_consumed = 0
         self.dwell_minutes = 0.0
         self.remeasurements = 0
 
     # ------------------------------------------------------------------
-    # Selection
+    # Strategy-backed views
     # ------------------------------------------------------------------
 
-    def _weighted_cost(
-        self, state: ClusterState, volume_by_as: Mapping[ASN, float]
-    ) -> float:
-        """Σ over clusters of estimated cluster volume × cluster size."""
-        cost = 0.0
-        for cluster in state.clusters():
-            volume = sum(volume_by_as.get(asn, 0.0) for asn in cluster)
-            cost += volume * len(cluster)
-        return cost
+    @property
+    def remaining(self) -> List[int]:
+        """Schedule indices not yet deployed (owned by the strategy)."""
+        return self.strategy.remaining
 
-    def _score(
-        self,
-        state: ClusterState,
-        index: int,
-        volume_by_as: Mapping[ASN, float],
-    ) -> float:
-        """Utility of deploying ``index`` next against ``state``."""
-        catchments = self.catchment_maps[index]
-        if volume_by_as:
-            working = state.copy()
-            before = self._weighted_cost(working, volume_by_as)
-            working.refine_with_catchments(catchments)
-            reduction = before - self._weighted_cost(working, volume_by_as)
-            if reduction > 0:
-                return reduction
-        # No volume evidence yet (or none of the busy clusters split):
-        # fall back to the §V-C unweighted split gain.
-        return float(refinement_gain(state, catchments.values())) * 1e-9
+    @property
+    def catchment_maps(self) -> List[Dict[LinkId, Catchment]]:
+        """The strategy's working catchment maps, aligned with the schedule."""
+        return self.strategy.catchment_maps
+
+    @catchment_maps.setter
+    def catchment_maps(
+        self, fresh_maps: Sequence[Mapping[LinkId, Catchment]]
+    ) -> None:
+        self.strategy.update_catchments(fresh_maps)
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
 
     def select_next(self, attributor: LiveAttributor) -> Optional[int]:
         """Pick, consume, and dwell-charge the next schedule index.
 
-        Returns None when the schedule is exhausted.  Selection is
-        deterministic: scores tie-break toward the lowest schedule index.
+        Returns None when the schedule is exhausted.  Adaptive mode asks
+        the strategy (fed the attributor's partition and rolling volume
+        estimates); before any volume has been attributed — or when the
+        strategy declines to propose — deployment falls back to schedule
+        order.  Built-in strategies tie-break toward the lowest schedule
+        index, so selection is deterministic.
         """
         if not self.remaining:
             return None
+        volume_by_as = None
         if self.policy.adaptive and attributor.configs_applied > 0:
             volume_by_as = attributor.volume_by_as()
-            best_index = None
-            best_score = 0.0
-            for index in self.remaining:
-                score = self._score(attributor.state, index, volume_by_as)
-                if score > best_score:
-                    best_score = score
-                    best_index = index
-            choice = best_index if best_index is not None else self.remaining[0]
+            proposed = self.strategy.propose(attributor.state, volume_by_as)
+            choice = proposed if proposed is not None else self.remaining[0]
         else:
             choice = self.remaining[0]
-        self.remaining.remove(choice)
+        self.strategy.observe(choice, attributor.state, volume_by_as)
         self.configs_consumed += 1
         self.dwell_minutes += self.timeline.minutes_per_config
         if self.registry is not None:
@@ -185,12 +194,15 @@ class AdaptiveController:
         """Short-circuit reason, or None to keep deploying."""
         if attributor.configs_applied < self.policy.min_configs:
             return None
-        if self.remaining and all(
-            refinement_gain(attributor.state, self.catchment_maps[i].values())
-            == 0
-            for i in self.remaining
-        ):
-            return "no remaining configuration splits any cluster"
+        if self.remaining:
+            # Volume estimates are deliberately not passed here: reading
+            # them would force an attribution solve outside the normal
+            # window cadence.  Base strategies stop when no remaining
+            # configuration splits any cluster; strategy-specific
+            # convergence (e.g. a singleton suspect set) surfaces too.
+            reason = self.strategy.converged(attributor.state, None)
+            if reason is not None:
+                return reason
         if self.policy.stop_entropy is not None:
             entropy = attributor.attribution_entropy()
             if attributor.attribution() is not None and (
@@ -241,7 +253,7 @@ class AdaptiveController:
                 f"{len(fresh_maps)} remeasured maps for "
                 f"{len(self.schedule)}-configuration schedule"
             )
-        self.catchment_maps = [dict(maps) for maps in fresh_maps]
+        self.strategy.update_catchments(fresh_maps)
         self.remeasurements += 1
         self.dwell_minutes += deployed_count * self.timeline.minutes_per_config
         if self.registry is not None:
@@ -261,11 +273,17 @@ class AdaptiveController:
             "configs_consumed": self.configs_consumed,
             "dwell_minutes": self.dwell_minutes,
             "remeasurements": self.remeasurements,
+            "strategy_state": self.strategy.extra_state(),
         }
 
     def restore(self, payload: Mapping) -> None:
-        """Restore mutable state dumped by :meth:`as_serializable`."""
-        self.remaining = list(payload["remaining"])
+        """Restore mutable state dumped by :meth:`as_serializable`.
+
+        ``strategy_state`` is optional so pre-strategy (schema v1/v2)
+        checkpoints restore cleanly with default strategy beliefs.
+        """
+        self.strategy.restore_remaining(payload["remaining"])
+        self.strategy.restore_extra(payload.get("strategy_state") or {})
         self.configs_consumed = int(payload["configs_consumed"])
         self.dwell_minutes = float(payload["dwell_minutes"])
         self.remeasurements = int(payload["remeasurements"])

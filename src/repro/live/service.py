@@ -55,6 +55,7 @@ from ..obs import (
     record_engine_stats,
     record_fault_log,
 )
+from ..strategy import strategy_class
 from ..spoof.sources import (
     PLACEMENT_DISTRIBUTIONS,
     SourcePlacement,
@@ -109,6 +110,10 @@ class ReplayScenario:
         adaptive: let the controller reorder remaining configurations by
             volume-weighted gain (False = schedule order, the batch
             pipeline's behaviour).
+        strategy: registry name of the traceback strategy the controller
+            consults in adaptive mode (default the paper's ``"greedy"``;
+            see :func:`repro.strategy.available_strategies`).  The
+            strategy's internal randomness is seeded from ``seed``.
         min_configs: never short-circuit before this many configurations.
         stop_entropy: short-circuit once attribution entropy (bits) drops
             to this (None = disabled).
@@ -143,6 +148,7 @@ class ReplayScenario:
     drop_policy: str = "newest"
     half_life_windows: float = 4.0
     adaptive: bool = True
+    strategy: str = "greedy"
     min_configs: int = 3
     stop_entropy: Optional[float] = None
     stop_volume_share: Optional[float] = None
@@ -175,6 +181,8 @@ class ReplayScenario:
             raise LiveServiceError("periodic checkpoints need a path")
         if self.nnls_stride < 1:
             raise LiveServiceError("nnls_stride must be at least 1")
+        # Fail fast on unknown strategy names (checkpoints embed them).
+        strategy_class(self.strategy)
         last_window = -1
         for entry in self.churn_events:
             window, drift = entry
@@ -382,6 +390,8 @@ class LiveTracebackService:
         )
         policy = ControllerPolicy(
             adaptive=self.scenario.adaptive,
+            strategy=self.scenario.strategy,
+            strategy_seed=self.scenario.seed,
             min_configs=min(self.scenario.min_configs, len(self.schedule)),
             stop_entropy=self.scenario.stop_entropy,
             stop_volume_share=self.scenario.stop_volume_share,

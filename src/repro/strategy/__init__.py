@@ -1,0 +1,63 @@
+"""Pluggable traceback strategies (propose / observe / converged).
+
+The interface that turns the repo from one paper into a traceback
+evaluation platform: the batch tracker, the §V-C schedulers, and the
+live adaptive controller all drive interchangeable
+:class:`TracebackStrategy` objects, discovered by name through a
+registry.  ``spooftrack compare`` races registered strategies on one
+seeded testbed with a shared simulation cache.
+"""
+
+from .base import (
+    NO_SPLIT_REASON,
+    NOISE_FLOOR,
+    StrategyRunResult,
+    TracebackStrategy,
+    run_strategy,
+    weighted_cost,
+    weighted_split_score,
+)
+from .builtin import (
+    BisectStrategy,
+    GreedyStrategy,
+    PoisonWalkStrategy,
+    RandomStrategy,
+    ScheduleOrderStrategy,
+    VolumeGreedyStrategy,
+)
+from .compare import (
+    CompareReport,
+    StrategyOutcome,
+    compare_strategies,
+    configs_to_convergence,
+)
+from .registry import (
+    available_strategies,
+    make_strategy,
+    register_strategy,
+    strategy_class,
+)
+
+__all__ = [
+    "NO_SPLIT_REASON",
+    "NOISE_FLOOR",
+    "BisectStrategy",
+    "CompareReport",
+    "GreedyStrategy",
+    "PoisonWalkStrategy",
+    "RandomStrategy",
+    "ScheduleOrderStrategy",
+    "StrategyOutcome",
+    "StrategyRunResult",
+    "TracebackStrategy",
+    "VolumeGreedyStrategy",
+    "available_strategies",
+    "compare_strategies",
+    "configs_to_convergence",
+    "make_strategy",
+    "register_strategy",
+    "run_strategy",
+    "strategy_class",
+    "weighted_cost",
+    "weighted_split_score",
+]

@@ -1,8 +1,11 @@
 """Tests for the spooftrack CLI."""
 
+import json
+
 import pytest
 
 from repro.cli import SCALES, build_parser, main
+from repro.errors import StrategyError
 
 
 class TestParser:
@@ -46,6 +49,42 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["live", "--churn", "bogus"])
 
+    def test_compare_options(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.strategies is None
+        assert args.max_configs is None
+        assert args.json is None
+        args = build_parser().parse_args(
+            [
+                "--seed",
+                "7",
+                "compare",
+                "--strategies",
+                "greedy,random",
+                "--max-configs",
+                "10",
+                "--json",
+                "out.json",
+                "--workers",
+                "2",
+            ]
+        )
+        assert args.seed == 7
+        assert args.strategies == "greedy,random"
+        assert args.max_configs == 10
+        assert args.json == "out.json"
+        assert args.workers == 2
+
+    def test_strategy_flags_registered(self):
+        args = build_parser().parse_args(["track", "--strategy", "bisect"])
+        assert args.strategy == "bisect"
+        assert build_parser().parse_args(["track"]).strategy is None
+        args = build_parser().parse_args(["live", "--strategy", "bgpeek"])
+        assert args.strategy == "bgpeek"
+        assert build_parser().parse_args(["live"]).strategy == "greedy"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["track", "--strategy", "nope"])
+
 
 class TestCommands:
     def test_tables_command(self, capsys):
@@ -63,6 +102,55 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "configurations deployed : 12" in out
         assert "ground-truth source ASes:" in out
+
+    def test_compare_command(self, tmp_path, capsys):
+        artifact = str(tmp_path / "compare.json")
+        code = main(
+            [
+                "--seed",
+                "2",
+                "compare",
+                "--strategies",
+                "greedy,schedule,random",
+                "--max-configs",
+                "10",
+                "--json",
+                artifact,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "racing 3 strategies" in out
+        assert "rank" in out
+        with open(artifact, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert {entry["strategy"] for entry in payload["strategies"]} == {
+            "greedy",
+            "schedule",
+            "random",
+        }
+
+    def test_compare_rejects_unknown_strategy(self, capsys):
+        with pytest.raises(StrategyError):
+            main(["compare", "--strategies", "nope"])
+
+    def test_track_with_strategy_flag(self, capsys):
+        code = main(
+            [
+                "--seed",
+                "2",
+                "track",
+                "--max-configs",
+                "10",
+                "--sources",
+                "2",
+                "--strategy",
+                "greedy",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "configurations deployed : 10" in out
 
     def test_live_command(self, capsys):
         code = main(

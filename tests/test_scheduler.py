@@ -134,10 +134,35 @@ class TestVolumeAwareGreedy:
         _, curve = scheduler.run()
         assert curve == sorted(curve, reverse=True)
 
-    def test_zero_volume_everywhere_stops_immediately(self):
+    def test_empty_volume_falls_back_to_split_gain(self):
+        # Historical bug: with no volume evidence the weighted cost is 0
+        # everywhere, ``cost < best_cost`` never fired, and the scheduler
+        # returned an empty order.  It now falls back to the unweighted
+        # split gain and reproduces the plain greedy order.
         scheduler = VolumeAwareGreedyScheduler(UNIVERSE, HISTORY, {})
         order, curve = scheduler.run()
-        assert order == [] and curve == []
+        greedy_order, _ = GreedyScheduler(UNIVERSE, HISTORY).run()
+        assert order == greedy_order
+        assert len(curve) == len(order)
+        assert all(value == 0.0 for value in curve)  # weighted cost stays 0
+
+    def test_all_zero_volume_falls_back_to_split_gain(self):
+        volume = {asn: 0.0 for asn in UNIVERSE}
+        scheduler = VolumeAwareGreedyScheduler(UNIVERSE, HISTORY, volume)
+        order, _ = scheduler.run()
+        greedy_order, _ = GreedyScheduler(UNIVERSE, HISTORY).run()
+        assert order == greedy_order
+
+    def test_partially_zero_volume_still_refines_cold_clusters(self):
+        # Volume concentrated on 0..7; config 0 isolates them, after which
+        # every weighted reduction is zero — the schedule must keep
+        # splitting the zero-volume half via the split-gain fallback
+        # instead of stopping with half the universe unrefined.
+        volume = {asn: (5.0 if asn < 8 else 0.0) for asn in UNIVERSE}
+        scheduler = VolumeAwareGreedyScheduler(UNIVERSE, HISTORY, volume)
+        order, _ = scheduler.run()
+        assert len(order) == 3  # everything splittable got deployed
+        assert 2 not in order  # the redundant config still never runs
 
 
 class TestPercentileCurve:
@@ -150,9 +175,17 @@ class TestPercentileCurve:
         assert percentile_curve(curves, 0.0) == [1.0]
         assert percentile_curve(curves, 100.0) == [3.0]
 
-    def test_truncates_to_shortest(self):
+    def test_pads_short_curves_with_final_value(self):
+        # A curve that converged early holds its final value; the band
+        # extends to the longest curve instead of truncating to the
+        # shortest.
         curves = [[1.0, 2.0], [3.0]]
-        assert len(percentile_curve(curves, 50.0)) == 1
+        assert percentile_curve(curves, 50.0) == [2.0, 2.5]
+        assert percentile_curve(curves, 100.0) == [3.0, 3.0]
+
+    def test_ignores_empty_curves(self):
+        curves = [[1.0, 2.0], []]
+        assert percentile_curve(curves, 50.0) == [1.0, 2.0]
 
     def test_rejects_empty(self):
         with pytest.raises(SchedulingError):
