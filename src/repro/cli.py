@@ -23,6 +23,9 @@ Subcommands:
 * ``dash`` — ASCII live dashboard: render the observability event
   stream, either attached to a served ``/events`` endpoint or from a
   seeded local replay.
+* ``timeline`` — post-mortem forensics: merge span traces, flight
+  bundles, and checkpoint directories into one causally ordered,
+  digest-stable timeline (``repro.obs.timeline``).
 * ``bench-check`` — compare fresh ``benchmarks/BENCH_*.json`` artifacts
   against the recorded baseline history; non-zero exit on regression.
 * ``experiments`` — regenerate the EXPERIMENTS.md body from a fresh run.
@@ -31,10 +34,12 @@ Subcommands:
 (JSONL span tree with deterministic span ids), ``--metrics PATH``
 (Prometheus-format counter/gauge/histogram dump), ``--serve PORT``
 (threaded HTTP exporter: ``/metrics``, ``/healthz``, ``/readyz``,
-``/manifest``, ``/traces``, SSE ``/events``, and — in fleet mode —
-``/tenants``), and ``--log-json`` (structured JSON-lines operational
-logging instead of bare stderr).  ``track``, ``live``, and ``fleet``
-also accept ``--fault-plan`` (``chaos`` sweeps its own ``--plan``).
+``/manifest``, ``/traces``, ``/timeline``, SSE ``/events``, and — in
+fleet mode — ``/tenants``), ``--log-json`` (structured JSON-lines
+operational logging instead of bare stderr), and ``--flight-dir DIR``
+(arm the black-box flight recorder).  ``track``, ``live``, and
+``fleet`` also accept ``--fault-plan`` (``chaos`` sweeps its own
+``--plan``).
 """
 
 from __future__ import annotations
@@ -58,6 +63,7 @@ from .obs import (
     SloWatchdog,
     Stopwatch,
     build_manifest,
+    install_flight_signal,
 )
 from .spoof.sources import PLACEMENT_DISTRIBUTIONS, make_placement
 from .topology.generator import TopologyParams
@@ -129,14 +135,22 @@ def _make_injector(args: argparse.Namespace):
     return FaultInjector(load_fault_plan(source))
 
 
+#: Recorders armed by :func:`_make_obs` this invocation, so the crash
+#: handler in :func:`main` can dump black boxes on an unhandled error.
+_ACTIVE_FLIGHTS: List = []
+
+
 def _make_obs(
     args: argparse.Namespace, command: str, profile: bool = False
 ) -> Optional[Observability]:
     """An armed :class:`Observability` bundle, or None when not asked for.
 
     Unarmed runs (no ``--trace``/``--metrics``/``--serve``/``--log-json``
-    /profiling) return None so the pipeline's instrumentation guards
-    stay on their no-op path.
+    /``--flight-dir``/profiling) return None so the pipeline's
+    instrumentation guards stay on their no-op path.  ``--flight-dir``
+    additionally arms a run-wide flight recorder (riding the bus,
+    logbook, and tracer), binds SIGUSR1 to it, and registers it for the
+    crash handler in :func:`main`.
     """
     armed = (
         getattr(args, "trace", None)
@@ -144,12 +158,18 @@ def _make_obs(
         or profile
         or getattr(args, "serve", None) is not None
         or getattr(args, "log_json", False)
+        or getattr(args, "flight_dir", None)
     )
     if not armed:
         return None
     obs = Observability.for_run(command, profile=profile)
     if obs.logbook is not None:
         obs.logbook.json_mode = bool(getattr(args, "log_json", False))
+    flight_dir = getattr(args, "flight_dir", None)
+    if flight_dir:
+        recorder = obs.arm_flight(command, directory=flight_dir)
+        install_flight_signal(recorder)
+        _ACTIVE_FLIGHTS.append(recorder)
     return obs
 
 
@@ -196,6 +216,8 @@ def _start_server(
         if slo_rules is not None
         else SloWatchdog(registry=obs.registry)
     )
+    # An armed flight recorder turns every SLO breach into a black box.
+    watchdog.flight = obs.flight
     if obs.bus is not None:
         obs.bus.attach(watchdog.observe)
     server = ObsServer(
@@ -204,6 +226,8 @@ def _start_server(
         health_source=health_source,
         watchdog=watchdog,
         port=port,
+        flight_dir=getattr(args, "flight_dir", None) or "",
+        checkpoint_dir=getattr(args, "checkpoint_dir", None) or "",
     )
     server.start()
     log.info(
@@ -679,6 +703,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         workers=args.workers,
         checkpoint_dir=args.checkpoint_dir or "",
         injector_factory=injector_factory,
+        flight_dir=args.flight_dir or "",
     )
 
     def _health():
@@ -795,6 +820,7 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         workers=args.workers,
         obs=obs,
         verify=not args.no_verify,
+        flight_dir=args.flight_dir or "",
     )
     # The soak watchdog also knows the resource_ceiling objective, so a
     # sentinel breach flips /readyz while the campaign is served.
@@ -963,6 +989,36 @@ def _cmd_dash(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    """Post-mortem forensics: merge run artifacts into one timeline."""
+    import json as _json
+
+    from .obs.timeline import build_timeline
+
+    if not (args.trace or args.flight_dir or args.checkpoint_dir):
+        print(
+            "timeline needs at least one source: --trace, --flight-dir, "
+            "or --checkpoint-dir",
+            file=sys.stderr,
+        )
+        return 2
+    timeline = build_timeline(
+        trace_path=args.trace or "",
+        flight_dir=args.flight_dir or "",
+        checkpoint_dir=args.checkpoint_dir or "",
+    )
+    timeline = timeline.filtered(
+        tenant=args.tenant or "",
+        shard=args.shard or "",
+        since=args.since,
+    )
+    if args.json:
+        print(_json.dumps(timeline.as_dict(), indent=2, sort_keys=True))
+        return 0
+    print(timeline.render(limit=args.limit))
+    return 0
+
+
 def _cmd_bench_check(args: argparse.Namespace) -> int:
     from .obs import benchgate
 
@@ -1078,6 +1134,16 @@ def build_parser() -> argparse.ArgumentParser:
             "--log-json",
             action="store_true",
             help="structured JSON-lines operational logs on stderr",
+        )
+        sub.add_argument(
+            "--flight-dir",
+            default=None,
+            metavar="DIR",
+            help=(
+                "arm the flight recorder: crashes, kills, rollbacks, SLO "
+                "breaches, and SIGUSR1 dump checksummed post-mortem "
+                "bundles here (read back with `spooftrack timeline`)"
+            ),
         )
 
     def add_fault_plan(sub: argparse.ArgumentParser) -> None:
@@ -1646,6 +1712,61 @@ def build_parser() -> argparse.ArgumentParser:
     add_workers(dash)
     dash.set_defaults(func=_cmd_dash)
 
+    timeline = subparsers.add_parser(
+        "timeline",
+        help=(
+            "post-mortem forensics: merge traces, flight bundles, and "
+            "checkpoints into one causally ordered timeline"
+        ),
+    )
+    timeline.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="JSONL span trace to fold in (written by --trace)",
+    )
+    timeline.add_argument(
+        "--flight-dir",
+        default=None,
+        metavar="DIR",
+        help="directory of flight-*.json post-mortem bundles",
+    )
+    timeline.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="directory of per-shard checkpoints (and rotated generations)",
+    )
+    timeline.add_argument(
+        "--tenant",
+        default=None,
+        help="keep only rows tagged with this tenant",
+    )
+    timeline.add_argument(
+        "--shard",
+        default=None,
+        help="keep only rows whose shard label contains this substring",
+    )
+    timeline.add_argument(
+        "--since",
+        type=float,
+        default=None,
+        metavar="MINUTES",
+        help="drop rows before this simulated minute (and unaligned rows)",
+    )
+    timeline.add_argument(
+        "--limit",
+        type=int,
+        default=0,
+        help="render only the last N rows (0 = everything)",
+    )
+    timeline.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the timeline (entries + digest) as JSON instead of text",
+    )
+    timeline.set_defaults(func=_cmd_timeline)
+
     bench_check = subparsers.add_parser(
         "bench-check",
         help="gate fresh BENCH_*.json artifacts against recorded history",
@@ -1696,11 +1817,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the ``spooftrack`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _ACTIVE_FLIGHTS.clear()
     try:
         return args.func(args)
     except FaultInjectionError as exc:
         print(f"fault plan error: {exc}", file=sys.stderr)
         return 2
+    except Exception as exc:
+        # The black box is most valuable at exactly this moment: dump
+        # the ring before the traceback unwinds the process.
+        for recorder in _ACTIVE_FLIGHTS:
+            recorder.dump("crash", context={"error": repr(exc)})
+        raise
+    finally:
+        for recorder in _ACTIVE_FLIGHTS:
+            recorder.detach()
 
 
 if __name__ == "__main__":

@@ -54,6 +54,7 @@ from ..bgp.simulator import RoutingOutcome, RoutingSimulator
 from ..errors import InjectedFault, SimulationError
 from ..faults.injection import FaultAction, FaultInjector
 from ..faults.resilience import CircuitBreaker, RetryPolicy
+from ..obs.tracing import TraceContext, _derive_id as _derive_span_id
 
 #: Default bound on memoized outcomes.  An outcome holds one route per
 #: covered AS, so the default comfortably fits the paper's 705-config
@@ -270,6 +271,7 @@ def _worker_simulate(
         AnnouncementConfig,
         Optional[FaultAction],
         Tuple[Tuple[ConfigKey, RoutingOutcome], ...],
+        Optional[Tuple],
     ]
 ) -> Tuple[
     int,
@@ -278,6 +280,7 @@ def _worker_simulate(
     int,
     int,
     Tuple[Tuple[ConfigKey, RoutingOutcome], ...],
+    Optional[Dict],
 ]:
     """Pool task: simulate one configuration in a worker process.
 
@@ -288,6 +291,13 @@ def _worker_simulate(
     the worker had to simulate itself come back in the result so the
     main cache learns them — later batches hit instead of re-deriving.
 
+    When the engine is traced, the task carries a serialized
+    :class:`~repro.obs.tracing.TraceContext` plus a pre-assigned span
+    name/ordinal/charge: the worker mints the deterministic child span
+    record *here* (its identity was fixed before dispatch, only the
+    measured duration is local) and ships it back for grafting into the
+    main tracer — the span tree is identical at any worker count.
+
     A :class:`FaultAction` decided by the main process (chaos runs)
     executes *here*, at the site — raising an
     :class:`~repro.errors.InjectedFault` or stalling the task — so the
@@ -296,7 +306,7 @@ def _worker_simulate(
     """
     assert _WORKER_STATE is not None, "worker initializer did not run"
     simulator, warm_start, parent_cache = _WORKER_STATE
-    index, config, action, parents = item
+    index, config, action, parents, trace = item
     for parent_key, parent_outcome in parents:
         parent_cache.setdefault(parent_key, parent_outcome)
     if action is not None:
@@ -307,6 +317,7 @@ def _worker_simulate(
         parent_cache[key] = outcome
         new_parents.append((key, outcome))
 
+    sim_start = time.perf_counter()
     outcome, fixpoints, warms, saved = _simulate_resolved(
         simulator,
         config,
@@ -314,7 +325,16 @@ def _worker_simulate(
         parent_cache.get,
         _store,
     )
-    return index, outcome, fixpoints, warms, saved, tuple(new_parents)
+    span_record: Optional[Dict] = None
+    if trace is not None:
+        ctx_tuple, name, ordinal, count = trace
+        span_record = TraceContext.from_tuple(ctx_tuple).child_record(
+            name,
+            ordinal,
+            attrs={"configs": count},
+            duration_seconds=time.perf_counter() - sim_start,
+        )
+    return index, outcome, fixpoints, warms, saved, tuple(new_parents), span_record
 
 
 def _worker_simulate_batch(items: Tuple) -> Tuple:
@@ -368,6 +388,16 @@ class SimulationEngine:
             Set to 1 to restore one-task-per-configuration dispatch.
             :meth:`iter_simulate` always dispatches per configuration:
             its contract is streaming results as each one completes.
+        tracer: optional :class:`~repro.obs.tracing.Tracer`.  When armed,
+            each batch with cache misses opens a deterministic
+            ``engine_batch`` span with per-miss ``simulate`` /
+            ``warm_start`` child spans carrying the logical fixpoint
+            charge.  Children are minted in the worker processes (see
+            :class:`~repro.obs.tracing.TraceContext`) and grafted back,
+            with identities assigned from the scheduling-independent
+            miss structure — the resulting
+            :func:`~repro.obs.tracing.span_tree_signature` is identical
+            at any worker count.
 
     The engine is safe to share across every consumer of one testbed —
     sharing is the point: the splitter's baseline is the schedule's
@@ -396,6 +426,7 @@ class SimulationEngine:
         breaker_threshold: int = 2,
         bus=None,
         dispatch_batch: Optional[int] = None,
+        tracer=None,
     ) -> None:
         if workers < 1:
             raise SimulationError("workers must be at least 1")
@@ -411,6 +442,7 @@ class SimulationEngine:
         self.cache_size = cache_size
         self.injector = injector
         self.bus = bus
+        self.tracer = tracer
         self.retry_policy = retry_policy or RetryPolicy()
         self.breaker = CircuitBreaker(breaker_threshold)
         self.stats = EngineStats()
@@ -481,15 +513,133 @@ class SimulationEngine:
             misses.append((key, config))
 
         if misses:
-            if self.workers == 1 or len(misses) == 1:
-                self._run_serial(misses, by_key)
-            else:
-                self._run_parallel(misses, by_key)
+            trace = self._open_batch_trace(misses)
+            try:
+                if self.workers == 1 or len(misses) == 1:
+                    self._run_serial(misses, by_key, trace=trace)
+                else:
+                    self._run_parallel(misses, by_key, trace=trace)
+            finally:
+                self._close_batch_trace(trace)
 
         self.stats.wall_time += time.perf_counter() - start
         if before is not None:
             self._publish_batch(before)
         return [by_key[key] for key in keys]
+
+    # -- deterministic span propagation ---------------------------------
+
+    def _span_plan(
+        self,
+        misses: List[Tuple[ConfigKey, AnnouncementConfig]],
+        logical: Dict[ConfigKey, int],
+    ) -> Dict[ConfigKey, Tuple[str, int, int]]:
+        """``key -> (name, ordinal, charge)`` for every charged miss.
+
+        Derived from the batch's *logical* structure (never from pool
+        scheduling): misses the serial reference run would serve en
+        passant get no span, every other miss gets a ``simulate`` or
+        ``warm_start`` span with an ordinal assigned in batch order.
+        """
+        plan: Dict[ConfigKey, Tuple[str, int, int]] = {}
+        counters: Dict[str, int] = {}
+        all_links = self.simulator.origin.link_ids
+        for key, config in misses:
+            count = logical[key]
+            if count == 0:
+                continue
+            name = "simulate"
+            if (
+                self.warm_start
+                and warm_start_parent(config, all_links) is not None
+            ):
+                name = "warm_start"
+            ordinal = counters.get(name, 0)
+            counters[name] = ordinal + 1
+            plan[key] = (name, ordinal, count)
+        return plan
+
+    def _open_batch_trace(
+        self, misses: List[Tuple[ConfigKey, AnnouncementConfig]]
+    ) -> Optional[Dict]:
+        """Mint this batch's ``engine_batch`` span (None when untraced).
+
+        The span id and its per-parent ordinal are consumed up front so
+        child identities can be fixed before dispatch; the record itself
+        is grafted at :meth:`_close_batch_trace` with children first, in
+        batch order, regardless of pool arrival order.
+        """
+        if self.tracer is None or not misses:
+            return None
+        parent = self.tracer.current
+        ordinal = parent._child_ordinals.get("engine_batch", 0)
+        parent._child_ordinals["engine_batch"] = ordinal + 1
+        span_id = _derive_span_id(parent.span_id, "engine_batch", ordinal)
+        ctx = TraceContext(
+            parent_span_id=span_id, run_name=self.tracer.root.name
+        )
+        return {
+            "ctx": ctx,
+            "parent_id": parent.span_id,
+            "misses": len(misses),
+            "plan": self._span_plan(misses, self._logical_fixpoints(misses)),
+            "records": {},
+            "start": time.perf_counter(),
+        }
+
+    def _close_batch_trace(self, trace: Optional[Dict]) -> None:
+        if trace is None:
+            return
+        records = [
+            trace["records"][key]
+            for key in trace["plan"]
+            if key in trace["records"]
+        ]
+        records.append(
+            {
+                "span_id": trace["ctx"].parent_span_id,
+                "parent_id": trace["parent_id"],
+                "name": "engine_batch",
+                "attrs": {"misses": trace["misses"]},
+                "duration_seconds": round(
+                    time.perf_counter() - trace["start"], 6
+                ),
+            }
+        )
+        self.tracer.graft(records)
+
+    def _task_trace(
+        self, trace: Optional[Dict], key: ConfigKey
+    ) -> Optional[Tuple]:
+        """The wire-form trace element for one pool task (or None)."""
+        if trace is None:
+            return None
+        entry = trace["plan"].get(key)
+        if entry is None:
+            return None
+        name, ordinal, count = entry
+        return (trace["ctx"].as_tuple(), name, ordinal, count)
+
+    def _stash_local_span(
+        self, trace: Optional[Dict], key: ConfigKey, duration: float
+    ) -> None:
+        """Mint in-process the record a worker would have shipped."""
+        entry = trace["plan"].get(key) if trace else None
+        if entry is None or key in trace["records"]:
+            return
+        name, ordinal, count = entry
+        trace["records"][key] = trace["ctx"].child_record(
+            name,
+            ordinal,
+            attrs={"configs": count},
+            duration_seconds=duration,
+        )
+
+    def _stash_worker_span(
+        self, trace: Optional[Dict], key: ConfigKey, record: Optional[Dict]
+    ) -> None:
+        if trace is not None and record is not None:
+            trace["records"].setdefault(key, record)
 
     def _publish_batch(self, before: "EngineStats") -> None:
         """Publish one ``engine_batch`` bus event for the stats delta
@@ -547,12 +697,20 @@ class SimulationEngine:
 
         results = None
         logical: Dict[ConfigKey, int] = {}
+        trace: Optional[Dict] = None
         if misses:
             logical = self._logical_fixpoints(misses)
+            trace = self._open_stream_trace(misses, logical)
         if misses and not self.breaker.open:
             pool = self._ensure_pool()
             tasks = [
-                (i, config, self._action_for(key), self._parents_for_task(config))
+                (
+                    i,
+                    config,
+                    self._action_for(key),
+                    self._parents_for_task(config),
+                    self._stream_task_trace(trace, key),
+                )
                 for i, (key, config) in enumerate(misses)
             ]
             results = pool.imap_unordered(_worker_simulate, tasks)
@@ -564,9 +722,15 @@ class SimulationEngine:
                 wait_start = time.perf_counter()
                 if results is not None:
                     try:
-                        index, outcome, fixpoints, warms, saved, new_parents = (
-                            self._next_result(results)
-                        )
+                        (
+                            index,
+                            outcome,
+                            fixpoints,
+                            warms,
+                            saved,
+                            new_parents,
+                            span_record,
+                        ) = self._next_result(results)
                     except Exception as exc:
                         # Broken pool mid-stream: drop it and finish the
                         # outstanding misses serially (identical results).
@@ -581,6 +745,7 @@ class SimulationEngine:
                     self.stats.queue_wait += waited
                     miss_key = misses[index][0]
                     self._absorb_parents(new_parents)
+                    self._stash_stream_span(trace, miss_key, span_record)
                     count = logical[miss_key]
                     self.stats.configs_simulated += count
                     self.stats.redundant_parent_sims += fixpoints - count
@@ -596,12 +761,18 @@ class SimulationEngine:
                         # absorbed from a worker before the pool broke).
                         by_key[key] = already
                         self._charge_cached(key, miss_configs[key], logical)
+                        self._stash_stream_span(trace, key, None)
                         self.stats.wall_time += (
                             time.perf_counter() - wait_start
                         )
                         continue
+                    sim_start = time.perf_counter()
                     outcome, fixpoints, warms, saved = (
                         self._simulate_resilient(key, miss_configs[key])
+                    )
+                    self._stash_stream_span(
+                        trace, key, None,
+                        duration=time.perf_counter() - sim_start,
                     )
                     self.stats.wall_time += time.perf_counter() - wait_start
                     count = logical.get(key, fixpoints)
@@ -611,9 +782,108 @@ class SimulationEngine:
                     self.stats.passes_saved += saved
                     self._cache_put(key, outcome)
                     by_key[key] = outcome
+            self._graft_stream_span(trace, key)
             yield by_key[key]
         if before is not None:
             self._publish_batch(before)
+
+    def _open_stream_trace(
+        self,
+        misses: List[Tuple[ConfigKey, AnnouncementConfig]],
+        logical: Dict[ConfigKey, int],
+    ) -> Optional[Dict]:
+        """Per-miss ``engine_batch`` spans for the streaming path.
+
+        ``iter_simulate`` with one worker degenerates to one
+        :meth:`simulate` call per configuration — a single-miss
+        ``engine_batch`` span each.  The pooled path must mint the same
+        tree, so every charged miss gets its own batch span here
+        (ordinals consumed in batch order), and records are grafted only
+        when their configuration is *yielded* — an abandoned stream
+        grafts exactly what the serial path would have.
+        """
+        if self.tracer is None or not misses:
+            return None
+        parent = self.tracer.current
+        plan: Dict[ConfigKey, Dict] = {}
+        all_links = self.simulator.origin.link_ids
+        for key, config in misses:
+            count = logical[key]
+            if count == 0:
+                continue
+            ordinal = parent._child_ordinals.get("engine_batch", 0)
+            parent._child_ordinals["engine_batch"] = ordinal + 1
+            batch_id = _derive_span_id(
+                parent.span_id, "engine_batch", ordinal
+            )
+            name = "simulate"
+            if (
+                self.warm_start
+                and warm_start_parent(config, all_links) is not None
+            ):
+                name = "warm_start"
+            plan[key] = {
+                "ctx": TraceContext(
+                    parent_span_id=batch_id, run_name=self.tracer.root.name
+                ),
+                "parent_id": parent.span_id,
+                "name": name,
+                "count": count,
+            }
+        return {"plan": plan, "records": {}}
+
+    def _stream_task_trace(
+        self, trace: Optional[Dict], key: ConfigKey
+    ) -> Optional[Tuple]:
+        if trace is None:
+            return None
+        entry = trace["plan"].get(key)
+        if entry is None:
+            return None
+        return (entry["ctx"].as_tuple(), entry["name"], 0, entry["count"])
+
+    def _stash_stream_span(
+        self,
+        trace: Optional[Dict],
+        key: ConfigKey,
+        record: Optional[Dict],
+        duration: float = 0.0,
+    ) -> None:
+        """Hold a miss's span record until its configuration is yielded."""
+        if trace is None:
+            return
+        entry = trace["plan"].get(key)
+        if entry is None or key in trace["records"]:
+            return
+        if record is None:
+            record = entry["ctx"].child_record(
+                entry["name"],
+                0,
+                attrs={"configs": entry["count"]},
+                duration_seconds=duration,
+            )
+        trace["records"][key] = record
+
+    def _graft_stream_span(self, trace: Optional[Dict], key: ConfigKey) -> None:
+        """Graft a yielded miss's child + batch spans (child first)."""
+        if trace is None:
+            return
+        entry = trace["plan"].get(key)
+        record = trace["records"].pop(key, None) if entry else None
+        if record is None:
+            return
+        self.tracer.graft(
+            [
+                record,
+                {
+                    "span_id": entry["ctx"].parent_span_id,
+                    "parent_id": entry["parent_id"],
+                    "name": "engine_batch",
+                    "attrs": {"misses": 1},
+                    "duration_seconds": record.get("duration_seconds", 0.0),
+                },
+            ]
+        )
 
     def _fault_ordinal(self, key: ConfigKey) -> int:
         """Stable per-engine ordinal of a distinct simulation (chaos
@@ -680,6 +950,7 @@ class SimulationEngine:
         misses: List[Tuple[ConfigKey, AnnouncementConfig]],
         by_key: Dict[ConfigKey, RoutingOutcome],
         logical: Optional[Dict[ConfigKey, int]] = None,
+        trace: Optional[Dict] = None,
     ) -> None:
         """Run misses in-process.
 
@@ -687,7 +958,9 @@ class SimulationEngine:
         fixpoints are charged at the pre-computed logical count so the
         totals stay identical to a pure serial run even when the batch
         finishes half-pool, half-serial; without it (pure serial mode)
-        physical counts *are* the logical counts.
+        physical counts *are* the logical counts.  Span records follow
+        the trace plan either way, so the grafted tree matches a pooled
+        run's exactly.
         """
         for key, config in misses:
             already = self._cache_get(key)
@@ -698,9 +971,14 @@ class SimulationEngine:
                 by_key[key] = already
                 if logical is not None:
                     self._charge_cached(key, config, logical)
+                self._stash_local_span(trace, key, 0.0)
                 continue
+            sim_start = time.perf_counter()
             outcome, fixpoints, warms, saved = self._simulate_resilient(
                 key, config
+            )
+            self._stash_local_span(
+                trace, key, time.perf_counter() - sim_start
             )
             if logical is not None:
                 count = logical.get(key, fixpoints)
@@ -837,9 +1115,10 @@ class SimulationEngine:
         self,
         misses: List[Tuple[ConfigKey, AnnouncementConfig]],
         by_key: Dict[ConfigKey, RoutingOutcome],
+        trace: Optional[Dict] = None,
     ) -> None:
         if self.breaker.open:
-            self._run_serial(misses, by_key)
+            self._run_serial(misses, by_key, trace=trace)
             return
         logical = self._logical_fixpoints(misses)
         pool = self._ensure_pool()
@@ -847,7 +1126,13 @@ class SimulationEngine:
             1, math.ceil(len(misses) / (self.workers * 2))
         )
         tasks = [
-            (i, config, self._action_for(key), self._parents_for_task(config))
+            (
+                i,
+                config,
+                self._action_for(key),
+                self._parents_for_task(config),
+                self._task_trace(trace, key),
+            )
             for i, (key, config) in enumerate(misses)
         ]
         batches = [
@@ -860,9 +1145,18 @@ class SimulationEngine:
                 wait_start = time.perf_counter()
                 group = self._next_result(results)
                 self.stats.queue_wait += time.perf_counter() - wait_start
-                for index, outcome, fixpoints, warms, saved, new_parents in group:
+                for (
+                    index,
+                    outcome,
+                    fixpoints,
+                    warms,
+                    saved,
+                    new_parents,
+                    span_record,
+                ) in group:
                     key = misses[index][0]
                     self._absorb_parents(new_parents)
+                    self._stash_worker_span(trace, key, span_record)
                     count = logical[key]
                     self.stats.configs_simulated += count
                     self.stats.redundant_parent_sims += fixpoints - count
@@ -880,7 +1174,7 @@ class SimulationEngine:
             remaining = [
                 (key, config) for key, config in misses if key not in by_key
             ]
-            self._run_serial(remaining, by_key, logical=logical)
+            self._run_serial(remaining, by_key, logical=logical, trace=trace)
         else:
             self.breaker.record_success()
 

@@ -358,6 +358,7 @@ class SpoofTracker:
             injector=injector,
             retry_policy=retry_policy,
             bus=self.obs.bus,
+            tracer=self.obs.tracer,
         )
         self.injector = (
             injector if injector is not None else self.engine.injector

@@ -47,6 +47,7 @@ from ..core.engine import SimulationEngine
 from ..errors import FleetError, LiveServiceError
 from ..live.service import WindowStats
 from ..obs import Observability
+from ..obs.flight import FlightRecorder
 from ..obs.slo import DEFAULT_SLOS, SloRule, SloWatchdog
 from .obs import TaggedBus, TaggedRegistry, shard_observability
 from .scheduler import FleetScheduler
@@ -172,6 +173,12 @@ class FleetRuntime:
             applied (a rebuilt runtime after a process-style restart
             resumes consumption mid-stream; pair with :meth:`adopt` for
             the shards those skipped launches created).
+        flight_dir: directory for per-shard flight-recorder bundles
+            ("" leaves flight recording off).  Each shard gets a
+            :class:`~repro.obs.flight.FlightRecorder` riding the shared
+            bus filtered to its own tenant/attack tags (plus its fault
+            injector), dumping on crash, kill, and rollback.
+        flight_capacity: ring size of each shard's recorder.
     """
 
     def __init__(
@@ -187,6 +194,8 @@ class FleetRuntime:
         injector_factory: Optional[Callable[[AttackSpec], object]] = None,
         engine_injector_factory: Optional[Callable[[str], object]] = None,
         skip_events: int = 0,
+        flight_dir: str = "",
+        flight_capacity: int = 256,
     ) -> None:
         self.spec = spec
         self.obs = obs if obs is not None else Observability()
@@ -196,6 +205,9 @@ class FleetRuntime:
         self.max_resumes = max_resumes
         self.injector_factory = injector_factory
         self.engine_injector_factory = engine_injector_factory
+        self.flight_dir = flight_dir
+        self.flight_capacity = flight_capacity
+        self.flights: Dict[ShardKey, "FlightRecorder"] = {}
         self._slo_rules = tuple(slo_rules)
         self.events: List[FleetEvent] = list(
             events if events is not None else scripted_stream(spec)
@@ -316,6 +328,21 @@ class FleetRuntime:
             if self.injector_factory is not None
             else None
         )
+        flight = None
+        if self.flight_dir:
+            flight = FlightRecorder(
+                name=attack.label,
+                capacity=self.flight_capacity,
+                directory=self.flight_dir,
+                context={
+                    "tenant": attack.tenant,
+                    "shard": attack.label,
+                    "seed": self.spec.seed,
+                },
+                tag_filter={"tenant": attack.tenant, "attack": attack.label},
+            )
+            flight.attach(bus=self.obs.bus, injector=injector)
+            self.flights[attack.key] = flight
         shard = AttackShard(
             attack,
             checkpoint_dir=self.checkpoint_dir,
@@ -323,6 +350,7 @@ class FleetRuntime:
             checkpoint_keep=self.spec.checkpoint_keep,
             obs=shard_observability(self.obs, attack.tenant, attack.label),
             injector=injector,
+            flight=flight,
         )
         self.shards[attack.key] = shard
         self.scheduler.register(attack.key, attack.tenant)
@@ -663,6 +691,8 @@ class FleetRuntime:
             # rebuild the fleet); a stale listener would double-count
             # SLO breaches into retired watchdogs.
             self.obs.bus.detach(self._route_to_watchdog)
+        for flight in self.flights.values():
+            flight.detach()
         for shard in self.shards.values():
             shard.finalize()
         for engine in self._engines.values():

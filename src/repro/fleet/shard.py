@@ -167,6 +167,10 @@ class AttackShard:
             checkpoints (runtime configuration; never serialized).
         obs: the shard's (tagged) observability bundle.
         injector: optional per-shard fault injector.
+        flight: optional :class:`~repro.obs.flight.FlightRecorder` (the
+            shard's black box); dumps on contained crashes (reason
+            ``crash``), scripted kills (``kill``), and checkpoint
+            rollback on resume (``rollback``).
     """
 
     def __init__(
@@ -177,10 +181,12 @@ class AttackShard:
         checkpoint_keep: int = 1,
         obs: Optional[Observability] = None,
         injector=None,
+        flight=None,
     ) -> None:
         self.attack = attack
         self.obs = obs if obs is not None else Observability()
         self.injector = injector
+        self.flight = flight
         self.checkpoint_keep = checkpoint_keep
         self.state = PENDING
         self.checkpoint_path = (
@@ -269,6 +275,13 @@ class AttackShard:
             self.crashes += 1
             self.state = FAILED
             self.service = None
+            self.dump_flight("crash", error=self.error)
+            self._log(
+                "warning",
+                f"shard {self.label} crashed (contained): {self.error}",
+                event="shard_crash",
+                error=self.error,
+            )
             return False
         if not more:
             self._final = self.service.report()
@@ -290,6 +303,12 @@ class AttackShard:
         self.error = "killed by fleet event"
         self.crashes += 1
         self.state = FAILED
+        self.dump_flight("kill")
+        self._log(
+            "warning",
+            f"shard {self.label} killed at minute {self._last_clock:g}",
+            event="shard_kill",
+        )
 
     def mark_restart(self) -> None:
         """Flag a freshly spawned shard as recovering from a process
@@ -321,10 +340,27 @@ class AttackShard:
                 self.migrations += 1
             self.resumes += 1
             self.state = ACTIVE
+            if self.service.restored_via_rollback:
+                self.dump_flight(
+                    "rollback", clock_minutes=round(self.service.clock.now, 6)
+                )
+            self._log(
+                "info",
+                f"shard {self.label} resumed from checkpoint at minute "
+                f"{self.service.clock.now:g}",
+                event="shard_resume",
+                rollback=self.service.restored_via_rollback,
+            )
             return True
         self.state = PENDING
         self.activate(testbed, engine, workers=workers)
         self.resumes += 1
+        self._log(
+            "info",
+            f"shard {self.label} restarted from scratch (no checkpoint)",
+            event="shard_resume",
+            rollback=False,
+        )
         return False
 
     def drain(self) -> None:
@@ -365,6 +401,35 @@ class AttackShard:
                 self._final = self.service.report()
             self.service.close()
             self.service = None
+
+    def _log(self, level: str, message: str, *, event: str, **fields) -> None:
+        """Lifecycle logging through the shard's (tagged) logbook.
+
+        In fleet mode the logbook view injects ``tenant``/``attack``
+        fields (see :class:`~repro.fleet.obs.TaggedLogbook`), so
+        ``--log-json`` streams are filterable by shard; unarmed runs
+        (``logbook is None``) pay nothing.
+        """
+        if self.obs.logbook is not None:
+            self.obs.logbook.log(level, message, event=event, **fields)
+
+    def dump_flight(self, reason: str, **extra) -> str:
+        """Dump this shard's black box (no-op without a recorder).
+
+        The context carries only simulated/logical state — lifecycle
+        state, simulated clock, crash/resume counts — so two replays
+        that die at the same logical point dump identical bundles.
+        """
+        if self.flight is None:
+            return ""
+        context = {
+            "state": self.state,
+            "clock_minutes": round(self._last_clock, 6),
+            "crashes": self.crashes,
+            "resumes": self.resumes,
+        }
+        context.update(extra)
+        return self.flight.dump(reason, context=context)
 
     # -- reporting ------------------------------------------------------
 

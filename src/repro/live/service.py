@@ -350,6 +350,7 @@ class LiveTracebackService:
             spec=self.spec,
             injector=injector,
             bus=self.obs.bus,
+            tracer=self.obs.tracer,
         )
         # Pre-attack measurement: catchments of every scheduled
         # configuration, streamed through the engine in schedule order.

@@ -71,7 +71,9 @@ from .metrics import (  # noqa: E402
     Gauge,
     Histogram,
     MetricsRegistry,
+    ParsedMetrics,
     parse_prometheus,
+    parse_prometheus_metrics,
     record_build_info,
     record_engine_stats,
     record_fault_log,
@@ -97,11 +99,23 @@ from .benchgate import (  # noqa: E402
 )
 from .tracing import (  # noqa: E402
     Span,
+    TraceContext,
     Tracer,
     build_tree,
     load_spans,
     phase_durations,
     span_tree_signature,
+)
+from .flight import (  # noqa: E402
+    FlightRecorder,
+    install_flight_signal,
+    load_flight_dump,
+)
+from .timeline import (  # noqa: E402
+    Timeline,
+    TimelineEntry,
+    build_timeline,
+    timeline_from_obs,
 )
 
 __all__ = [
@@ -111,6 +125,7 @@ __all__ = [
     "RESOURCE_CEILING_SLO",
     "SOAK_SLOS",
     "EventBus",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "LogRecord",
@@ -127,19 +142,28 @@ __all__ = [
     "Span",
     "Stopwatch",
     "Subscription",
+    "Timeline",
+    "TimelineEntry",
+    "TraceContext",
     "Tracer",
     "build_manifest",
+    "build_timeline",
     "build_tree",
     "capture_environment",
     "check_benchmarks",
     "default_history_path",
     "ensure_parent_dir",
     "git_describe",
+    "install_flight_signal",
     "library_versions",
     "load_artifacts",
+    "load_flight_dump",
     "load_history",
     "load_spans",
+    "timeline_from_obs",
+    "ParsedMetrics",
     "parse_prometheus",
+    "parse_prometheus_metrics",
     "phase_durations",
     "record_build_info",
     "record_engine_stats",
@@ -166,6 +190,7 @@ class Observability:
     timer: Optional[PhaseTimer] = field(default=None)
     bus: Optional[EventBus] = None
     logbook: Optional[Logbook] = None
+    flight: Optional[FlightRecorder] = None
 
     @classmethod
     def for_run(
@@ -183,6 +208,27 @@ class Observability:
             bus=EventBus(),
             logbook=Logbook(tracer=tracer),
         )
+
+    def arm_flight(
+        self, name: str = "run", directory: str = "", capacity: int = 256
+    ) -> FlightRecorder:
+        """Attach a run-wide flight recorder to every armed surface.
+
+        The recorder rides the bus, logbook, and tracer of this bundle
+        (whichever exist) and snapshots this registry's counters at each
+        dump.  Stored on :attr:`flight` so trigger sites (CLI crash
+        handler, SLO watchdogs, signal handler) can reach it; call
+        ``flight.detach()`` on teardown.
+        """
+        recorder = FlightRecorder(
+            name=name,
+            capacity=capacity,
+            directory=directory,
+            registry=self.registry,
+        )
+        recorder.attach(bus=self.bus, logbook=self.logbook, tracer=self.tracer)
+        self.flight = recorder
+        return recorder
 
     def span(self, name: str, **attrs):
         """Tracer span when tracing, else a no-op context manager."""

@@ -24,7 +24,7 @@ from __future__ import annotations
 import json
 import sys
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, TextIO
+from typing import Callable, Dict, List, Optional, TextIO
 
 #: Level names to severities (stdlib ``logging`` numbering).
 LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
@@ -83,6 +83,10 @@ class Logbook:
         self.tracer = tracer
         self.records: List[LogRecord] = []
         self.suppressed = 0
+        #: Record hooks, called with every :class:`LogRecord` appended
+        #: (even below the render threshold) — the flight recorder rides
+        #: here.  Keep them cheap; remove on teardown.
+        self.listeners: List[Callable[[LogRecord], None]] = []
 
     @property
     def stream(self) -> TextIO:
@@ -112,6 +116,8 @@ class Logbook:
         self.records.append(record)
         if len(self.records) > RECORD_LIMIT:
             del self.records[0]
+        for listener in list(self.listeners):
+            listener(record)
         if LEVELS[level] < LEVELS[self.level]:
             self.suppressed += 1
             return

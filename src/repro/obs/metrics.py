@@ -27,7 +27,9 @@ parse it, but nothing here imports anything outside the stdlib.
 from __future__ import annotations
 
 import json
+import re
 import threading
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 #: Histogram bucket upper bounds (seconds-flavored, log-spaced).  The
@@ -363,7 +365,13 @@ def parse_prometheus(text: str) -> Dict[str, float]:
     """Parse a Prometheus text dump back into ``{series: value}``.
 
     Helper for tests and reconciliation checks — inverse of
-    :meth:`MetricsRegistry.render_prometheus` for scalar series.
+    :meth:`MetricsRegistry.render_prometheus` for scalar series.  The
+    map is flat and *sample-level*: histogram internals appear under
+    their exposition names (``name_bucket{le="..."}``, ``name_sum``,
+    ``name_count``, with cumulative bucket values), exactly as rendered.
+    For a structurally-aware inverse — histograms reassembled with
+    de-cumulated buckets, ready to :meth:`MetricsRegistry.merge` — use
+    :func:`parse_prometheus_metrics`.
     """
     values: Dict[str, float] = {}
     for line in text.splitlines():
@@ -373,6 +381,174 @@ def parse_prometheus(text: str) -> Dict[str, float]:
         series, _, value = line.rpartition(" ")
         values[series] = float(value)
     return values
+
+
+#: One exposition sample line: ``name{labels} value`` (labels optional).
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[A-Za-z_:][A-Za-z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+
+#: Exposition-format label-value unescapes (inverse of
+#: :func:`_escape_label_value`).
+_LABEL_UNESCAPES = {"\\": "\\", '"': '"', "n": "\n"}
+
+
+def _parse_label_body(body: str) -> LabelSet:
+    """Parse the inside of ``{...}`` back into a canonical label set."""
+    labels: List[Tuple[str, str]] = []
+    index = 0
+    length = len(body)
+    while index < length:
+        if body[index] == ",":
+            index += 1
+            continue
+        eq = body.index("=", index)
+        key = body[index:eq].strip()
+        if body[eq + 1] != '"':
+            raise ValueError(f"label value for {key!r} is not quoted")
+        index = eq + 2
+        chars: List[str] = []
+        while True:
+            if index >= length:
+                raise ValueError(f"unterminated label value for {key!r}")
+            char = body[index]
+            if char == "\\":
+                escape = body[index + 1] if index + 1 < length else ""
+                chars.append(_LABEL_UNESCAPES.get(escape, "\\" + escape))
+                index += 2
+                continue
+            if char == '"':
+                index += 1
+                break
+            chars.append(char)
+            index += 1
+        labels.append((key, "".join(chars)))
+    return tuple(sorted(labels))
+
+
+@dataclass
+class ParsedMetrics:
+    """Structured form of a Prometheus text dump.
+
+    ``counters``/``gauges`` map ``(name, labelset) -> value``;
+    ``histograms`` map ``(name, labelset) -> {"buckets", "counts",
+    "sum", "count"}`` with the bucket counts **de-cumulated** back to
+    per-bucket tallies (the exposition format renders them cumulative).
+    ``kinds`` and ``helps`` carry the ``# TYPE`` / ``# HELP`` headers.
+    """
+
+    counters: Dict[Tuple[str, LabelSet], float] = field(default_factory=dict)
+    gauges: Dict[Tuple[str, LabelSet], float] = field(default_factory=dict)
+    histograms: Dict[Tuple[str, LabelSet], Dict] = field(default_factory=dict)
+    kinds: Dict[str, str] = field(default_factory=dict)
+    helps: Dict[str, str] = field(default_factory=dict)
+
+    def as_snapshot(self) -> Dict:
+        """A :meth:`MetricsRegistry.merge`-compatible snapshot.
+
+        Non-finite counter values (``NaN``/``inf`` — a damaged scrape,
+        never produced by a real registry) are dropped rather than
+        silently poisoning every later increment; gauges keep them
+        verbatim, as gauges are point-in-time measurements and ``NaN``
+        is a legitimate "no data" reading.
+        """
+        import math
+
+        return {
+            "counters": [
+                {"name": name, "labels": list(labels), "value": value}
+                for (name, labels), value in sorted(self.counters.items())
+                if math.isfinite(value)
+            ],
+            "gauges": [
+                {"name": name, "labels": list(labels), "value": value}
+                for (name, labels), value in sorted(self.gauges.items())
+            ],
+            "histograms": [
+                {
+                    "name": name,
+                    "labels": list(labels),
+                    "buckets": list(data["buckets"]),
+                    "counts": list(data["counts"]),
+                    "sum": data["sum"],
+                    "count": data["count"],
+                }
+                for (name, labels), data in sorted(self.histograms.items())
+            ],
+        }
+
+
+def parse_prometheus_metrics(text: str) -> ParsedMetrics:
+    """Parse a text dump back into typed families (full round-trip).
+
+    The structural inverse of :meth:`MetricsRegistry.render_prometheus`:
+    ``# TYPE`` headers type each family, histogram ``_bucket``/``_sum``
+    /``_count`` samples are reassembled per label set with bucket counts
+    de-cumulated (``+Inf`` implicit), and label values are unescaped.
+    ``registry.merge(parse_prometheus_metrics(text).as_snapshot())``
+    therefore reconstructs the dumping registry's metrics exactly —
+    including histograms, which the flat :func:`parse_prometheus` map
+    only exposes sample by sample.
+    """
+    parsed = ParsedMetrics()
+    raw_hist: Dict[Tuple[str, LabelSet], Dict] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            name, _, help_text = line[len("# HELP "):].partition(" ")
+            parsed.helps[name] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            name, _, kind = line[len("# TYPE "):].partition(" ")
+            parsed.kinds[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable sample line: {line!r}")
+        name = match.group("name")
+        labels = _parse_label_body(match.group("labels") or "")
+        value = float(match.group("value"))
+        for suffix in ("_bucket", "_sum", "_count"):
+            family = name[: -len(suffix)]
+            if name.endswith(suffix) and parsed.kinds.get(family) == "histogram":
+                bare = tuple(pair for pair in labels if pair[0] != "le")
+                entry = raw_hist.setdefault(
+                    (family, bare), {"cumulative": [], "sum": 0.0, "count": 0}
+                )
+                if suffix == "_bucket":
+                    le = dict(labels).get("le", "+Inf")
+                    bound = float("inf") if le == "+Inf" else float(le)
+                    entry["cumulative"].append((bound, value))
+                elif suffix == "_sum":
+                    entry["sum"] = value
+                else:
+                    entry["count"] = int(value)
+                break
+        else:
+            if parsed.kinds.get(name) == "counter":
+                parsed.counters[(name, labels)] = value
+            else:
+                parsed.gauges[(name, labels)] = value
+    for (family, labels), entry in raw_hist.items():
+        ordered = sorted(entry["cumulative"])
+        counts: List[int] = []
+        previous = 0.0
+        for _bound, cumulative in ordered:
+            counts.append(int(cumulative - previous))
+            previous = cumulative
+        parsed.histograms[(family, labels)] = {
+            "buckets": [b for b, _ in ordered if b != float("inf")],
+            "counts": counts,
+            "sum": entry["sum"],
+            "count": entry["count"],
+        }
+    return parsed
 
 
 def record_engine_stats(registry: MetricsRegistry, stats) -> None:

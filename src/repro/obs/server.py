@@ -26,7 +26,14 @@ Endpoints (all GET, stdlib :mod:`http.server` only):
 ``/events``
     Server-sent events: each bus event as an ``id:``/``data:`` frame.
     ``?replay=0`` skips history; ``?limit=N`` closes the stream after N
-    events so plain ``curl`` invocations terminate.
+    events so plain ``curl`` invocations terminate.  An idle stream
+    emits ``: keep-alive`` comment frames every ``keepalive_seconds``
+    so proxies and clients can tell a quiet run from a dead one.
+``/timeline``
+    The merged forensic timeline (:mod:`repro.obs.timeline`) over the
+    armed bus history, finished spans, and any attached flight/
+    checkpoint directories, with ``?tenant=``/``?shard=``/``?since=``
+    filters and the deterministic digest in the body.
 
 The server binds on construction (so ``port`` is known even with
 ``port=0``) and serves from a daemon thread after :meth:`start`.
@@ -42,6 +49,9 @@ from urllib.parse import parse_qs, urlsplit
 
 #: Seconds an idle SSE loop waits before re-checking for shutdown.
 SSE_POLL_SECONDS = 0.25
+
+#: Default idle interval between SSE ``: keep-alive`` comment frames.
+SSE_KEEPALIVE_SECONDS = 15.0
 
 
 def _health_payload(source) -> Mapping:
@@ -114,6 +124,8 @@ class _ObsHandler(BaseHTTPRequestHandler):
                 self._handle_events(obs_server, parse_qs(parsed.query))
             elif route == "/tenants":
                 self._handle_tenants(obs_server)
+            elif route == "/timeline":
+                self._handle_timeline(obs_server, parse_qs(parsed.query))
             else:
                 self._send_json(404, {"error": f"unknown route {route}"})
         except (BrokenPipeError, ConnectionResetError):
@@ -164,6 +176,19 @@ class _ObsHandler(BaseHTTPRequestHandler):
         payload = source() if callable(source) else source
         self._send_json(200, payload)
 
+    def _handle_timeline(self, obs_server: "ObsServer", query) -> None:
+        timeline = obs_server.build_timeline()
+        if timeline is None:
+            self._send_json(404, {"error": "no timeline sources armed"})
+            return
+        tenant = query.get("tenant", [""])[0]
+        shard = query.get("shard", [""])[0]
+        since_raw = query.get("since", [""])[0]
+        since = float(since_raw) if since_raw else None
+        self._send_json(
+            200, timeline.filtered(tenant=tenant, shard=shard, since=since).as_dict()
+        )
+
     def _handle_events(self, obs_server: "ObsServer", query) -> None:
         bus = obs_server.bus
         if bus is None:
@@ -180,6 +205,7 @@ class _ObsHandler(BaseHTTPRequestHandler):
         self.end_headers()
         subscription = bus.subscribe(replay=replay)
         sent = 0
+        idle = 0.0
         try:
             while limit is None or sent < limit:
                 if obs_server.stopping.is_set():
@@ -188,7 +214,16 @@ class _ObsHandler(BaseHTTPRequestHandler):
                 if event is None:
                     if subscription._closed:  # bus closed: end of stream
                         return
+                    # A silent bus must still prove the stream is alive:
+                    # comment frames are ignored by SSE clients but reset
+                    # proxy idle timers (and our tests' patience).
+                    idle += SSE_POLL_SECONDS
+                    if idle >= obs_server.keepalive_seconds:
+                        self.wfile.write(b": keep-alive\n\n")
+                        self.wfile.flush()
+                        idle = 0.0
                     continue
+                idle = 0.0
                 frame = (
                     f"id: {event.get('seq', sent)}\n"
                     f"data: {json.dumps(event, sort_keys=True, default=str)}\n\n"
@@ -219,6 +254,16 @@ class ObsServer:
             absent ⇒ 404.
         host: bind address (default loopback).
         port: bind port; 0 picks a free one (read :attr:`port` after).
+        timeline_source: zero-arg callable returning a
+            :class:`~repro.obs.timeline.Timeline` for ``/timeline``;
+            default builds one from the armed bus/tracer plus
+            ``flight_dir``/``checkpoint_dir``.
+        flight_dir: flight-bundle directory merged into the default
+            ``/timeline`` view.
+        checkpoint_dir: checkpoint directory merged into the default
+            ``/timeline`` view.
+        keepalive_seconds: idle interval between SSE comment frames on
+            ``/events``.
     """
 
     ROUTES = (
@@ -229,6 +274,7 @@ class ObsServer:
         "/traces",
         "/events",
         "/tenants",
+        "/timeline",
     )
 
     def __init__(
@@ -242,6 +288,10 @@ class ObsServer:
         host: str = "127.0.0.1",
         port: int = 0,
         tenants_source=None,
+        timeline_source=None,
+        flight_dir: str = "",
+        checkpoint_dir: str = "",
+        keepalive_seconds: float = SSE_KEEPALIVE_SECONDS,
     ) -> None:
         self.registry = registry if registry is not None else getattr(obs, "registry", None)
         self.tracer = getattr(obs, "tracer", None)
@@ -252,12 +302,51 @@ class ObsServer:
         #: Value or zero-arg callable feeding ``/tenants`` — the fleet
         #: runtime's :meth:`~repro.fleet.runtime.FleetRuntime.tenants_summary`.
         self.tenants_source = tenants_source
+        self.timeline_source = timeline_source
+        self.flight_dir = flight_dir
+        self.checkpoint_dir = checkpoint_dir
+        self.keepalive_seconds = keepalive_seconds
         self.stopping = threading.Event()
         self._ready = threading.Event()
         self._http = ThreadingHTTPServer((host, port), _ObsHandler)
         self._http.daemon_threads = True
         self._http.obs_server = self  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
+
+    def build_timeline(self):
+        """The ``/timeline`` body source: the explicit source when one
+        is wired, else a merge of whatever this server has armed (bus
+        history, finished spans, flight/checkpoint directories).
+        Returns None when no source exists at all (⇒ 404)."""
+        if self.timeline_source is not None:
+            return self.timeline_source()
+        if (
+            self.bus is None
+            and self.tracer is None
+            and not self.flight_dir
+            and not self.checkpoint_dir
+        ):
+            return None
+        from .timeline import (
+            entries_from_bus,
+            entries_from_checkpoint_dir,
+            entries_from_flight_dir,
+            entries_from_spans,
+            _merge,
+        )
+
+        groups = []
+        if self.bus is not None:
+            groups.append(entries_from_bus(self.bus.history()))
+        if self.tracer is not None:
+            groups.append(
+                entries_from_spans(
+                    span.as_record() for span in self.tracer.finished
+                )
+            )
+        groups.append(entries_from_flight_dir(self.flight_dir))
+        groups.append(entries_from_checkpoint_dir(self.checkpoint_dir))
+        return _merge(groups)
 
     @property
     def host(self) -> str:

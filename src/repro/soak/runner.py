@@ -73,6 +73,12 @@ class SoakRunner:
             (default ``<checkpoint_dir>/reference``; checkpoint bytes
             are location-independent, so the separate directory does not
             affect the comparison).
+        flight_dir: directory for per-shard flight-recorder bundles
+            ("" leaves flight recording off).  Kills dump through the
+            shard's own recorder (reason ``kill``); checkpoint
+            corruption dumps here with reason ``corruption`` before the
+            restart destroys the evidence.  The reference run never
+            records flights — it must stay unobserved.
     """
 
     def __init__(
@@ -83,6 +89,7 @@ class SoakRunner:
         obs: Optional[Observability] = None,
         verify: bool = True,
         reference_dir: str = "",
+        flight_dir: str = "",
     ) -> None:
         if not checkpoint_dir:
             raise FleetError(
@@ -97,6 +104,7 @@ class SoakRunner:
         self.reference_dir = reference_dir or os.path.join(
             checkpoint_dir, "reference"
         )
+        self.flight_dir = flight_dir
         self.sentinel = ResourceSentinel(spec.ceilings, obs=self.obs)
         self._plan: Optional[FaultPlan] = (
             load_fault_plan(spec.fault_plan).infra_only()
@@ -124,6 +132,7 @@ class SoakRunner:
             workers=self.workers,
             checkpoint_dir=self.checkpoint_dir,
             skip_events=skip,
+            flight_dir=self.flight_dir,
         )
 
     def _escalate(self, runtime: FleetRuntime, epoch: int) -> None:
@@ -177,6 +186,9 @@ class SoakRunner:
                 with open(path, "w", encoding="utf-8") as handle:
                     handle.write("damaged by soak harness\n")
                 count += 1
+                # Dump the black box *now*: the imminent restart tears
+                # this runtime (and its rings) down.
+                shard.dump_flight("corruption", epoch=epoch)
         return count
 
     def _restart_due(self, epoch: int) -> bool:

@@ -204,6 +204,7 @@ def compare_strategies(
             workers=workers,
             spec=testbed.spec,
             bus=obs.bus,
+            tracer=obs.tracer,
         )
     stats_before = engine.stats.copy()
     try:

@@ -1,6 +1,8 @@
 """Tests for repro.fleet: specs, streams, scheduler, shards, runtime."""
 
 import asyncio
+import io
+import json
 import os
 
 import pytest
@@ -20,6 +22,7 @@ from repro.fleet import (
     FleetScheduler,
     FleetSpec,
     TaggedBus,
+    TaggedLogbook,
     TaggedRegistry,
     derive_seed,
     derive_tenant_seed,
@@ -29,7 +32,7 @@ from repro.fleet import (
     scripted_stream,
     shard_observability,
 )
-from repro.obs import EventBus, MetricsRegistry, Observability
+from repro.obs import EventBus, Logbook, MetricsRegistry, Observability
 from repro.topology.generator import TopologyParams
 
 #: Small enough to keep per-tenant testbeds cheap, large enough for the
@@ -239,18 +242,63 @@ class TestTaggedViews:
         assert history[1]["tenant"] == "override"
         bus.close()
 
+    def test_tagged_logbook_keeps_human_mode_byte_identical(self):
+        plain_stream, tagged_stream = io.StringIO(), io.StringIO()
+        plain = Logbook(stream=plain_stream)
+        tagged = TaggedLogbook(
+            Logbook(stream=tagged_stream), tenant="t0", attack="t0/p"
+        )
+        plain.info("window 4 done", event="window", window_index=4)
+        tagged.info("window 4 done", event="window", window_index=4)
+        assert tagged_stream.getvalue() == plain_stream.getvalue()
+        assert tagged_stream.getvalue() == "window 4 done\n"
+
+    def test_tagged_logbook_stamps_structured_fields(self):
+        stream = io.StringIO()
+        parent = Logbook(stream=stream, json_mode=True)
+        tagged = TaggedLogbook(parent, tenant="t0", attack="t0/p")
+        tagged.warning("shard killed", event="shard_kill", minute=120)
+        line = json.loads(stream.getvalue())
+        assert line["tenant"] == "t0"
+        assert line["attack"] == "t0/p"
+        assert line["event"] == "shard_kill"
+        assert line["minute"] == 120
+        # The retained record (what the flight recorder sees) is tagged too.
+        assert parent.records[-1].fields["tenant"] == "t0"
+
+    def test_tagged_logbook_explicit_fields_win(self):
+        parent = Logbook(stream=io.StringIO())
+        tagged = TaggedLogbook(parent, tenant="outer")
+        tagged.error("boom", tenant="inner")
+        assert parent.records[-1].fields == {"tenant": "inner"}
+
+    def test_tagged_logbook_shares_parent_state(self):
+        parent = Logbook(stream=io.StringIO(), json_mode=True, level="debug")
+        tagged = TaggedLogbook(parent, tenant="t0")
+        seen = []
+        tagged.listeners.append(lambda record: seen.append(record.message))
+        tagged.debug("quiet")
+        assert tagged.records is parent.records
+        assert tagged.json_mode is True and tagged.level == "debug"
+        assert seen == ["quiet"]
+
     def test_shard_observability_of_bare_parent(self):
         bare = shard_observability(None, "t0", "t0/p")
         assert bare.registry is None and bare.bus is None
         empty = shard_observability(Observability(), "t0", "t0/p")
         assert empty.registry is None and empty.bus is None
         armed = shard_observability(
-            Observability(registry=MetricsRegistry(), bus=EventBus()),
+            Observability(
+                registry=MetricsRegistry(),
+                bus=EventBus(),
+                logbook=Logbook(stream=io.StringIO()),
+            ),
             "t0",
             "t0/p",
         )
         assert isinstance(armed.registry, TaggedRegistry)
         assert isinstance(armed.bus, TaggedBus)
+        assert isinstance(armed.logbook, TaggedLogbook)
         # Span/profiler identities would collide across shards.
         assert armed.tracer is None and armed.profiler is None
         armed.bus._bus.close()
@@ -350,6 +398,39 @@ class TestFleetRuntime:
         runtime.close()
         assert peak["active"] == 1
         assert all(shard.state == DONE for shard in report.shards)
+
+    def test_lifecycle_logs_carry_tenant_and_attack(self, tmp_path):
+        """Fleet-mode log records are filterable by shard (ISSUE 10 S4)."""
+        stream = io.StringIO()
+        spec = small_spec(checkpoint_every=2)
+        victim = ("tenant-00", "198.18.0.0/29")
+        events = scripted_stream(
+            spec,
+            [FleetEvent(minute=100.0, action=CRASH,
+                        tenant=victim[0], prefix=victim[1])],
+        )
+        runtime = FleetRuntime(
+            spec,
+            events=events,
+            obs=Observability(
+                logbook=Logbook(stream=stream, json_mode=True)
+            ),
+            checkpoint_dir=str(tmp_path),
+        )
+        try:
+            runtime.run()
+        finally:
+            runtime.close()
+        lines = [
+            json.loads(line) for line in stream.getvalue().splitlines()
+        ]
+        kills = [l for l in lines if l.get("event") == "shard_kill"]
+        resumes = [l for l in lines if l.get("event") == "shard_resume"]
+        assert kills and resumes
+        assert kills[0]["tenant"] == victim[0]
+        assert kills[0]["attack"] == f"{victim[0]}/{victim[1]}"
+        assert resumes[0]["tenant"] == victim[0]
+        assert resumes[0]["rollback"] in (True, False)
 
     def test_scripted_drain_and_evict(self, base_run):
         spec, _, _ = base_run

@@ -23,6 +23,7 @@ from repro.obs import (
     build_tree,
     load_spans,
     parse_prometheus,
+    parse_prometheus_metrics,
     phase_durations,
     record_engine_stats,
     record_fault_log,
@@ -167,6 +168,81 @@ class TestMergeAndRender:
             ).items():
                 summed[series] = summed.get(series, 0.0) + value
         assert summed == parse_prometheus(merged.render_prometheus())
+
+
+class TestStructuredParse:
+    """parse_prometheus_metrics: the typed, merge-ready inverse (ISSUE 10)."""
+
+    def test_histogram_reassembled_and_decumulated(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value)
+        parsed = parse_prometheus_metrics(registry.render_prometheus())
+        data = parsed.histograms[("lat", ())]
+        assert data["buckets"] == [0.1, 1.0]  # +Inf stays implicit
+        assert data["counts"] == [1, 2, 1]  # de-cumulated per-bucket tallies
+        assert data["count"] == 4
+        assert data["sum"] == pytest.approx(6.05)
+        assert parsed.kinds["lat"] == "histogram"
+
+    def test_families_typed_by_headers(self):
+        registry = MetricsRegistry()
+        registry.counter("n_total", help="things").inc(2)
+        registry.gauge("depth").set(7)
+        parsed = parse_prometheus_metrics(registry.render_prometheus())
+        assert parsed.counters == {("n_total", ()): 2.0}
+        assert parsed.gauges == {("depth", ()): 7.0}
+        assert parsed.helps["n_total"] == "things"
+
+    def test_label_values_unescaped(self):
+        registry = MetricsRegistry()
+        awkward = 'quote:" backslash:\\ newline:\nend'
+        registry.counter("odd_total", labels={"detail": awkward}).inc(2)
+        parsed = parse_prometheus_metrics(registry.render_prometheus())
+        ((name, labels),) = parsed.counters
+        assert name == "odd_total"
+        assert labels == (("detail", awkward),)
+
+    def test_unparseable_sample_raises(self):
+        with pytest.raises(ValueError, match="unparseable"):
+            parse_prometheus_metrics("what even is this line")
+
+    def test_snapshot_drops_nan_counters_keeps_nan_gauges(self):
+        import math
+
+        text = (
+            "# TYPE broken_total counter\n"
+            "broken_total NaN\n"
+            "# TYPE fine_total counter\n"
+            "fine_total 3\n"
+            "undefined NaN\n"
+        )
+        snapshot = parse_prometheus_metrics(text).as_snapshot()
+        names = [entry["name"] for entry in snapshot["counters"]]
+        assert names == ["fine_total"]  # the damaged sample is dropped
+        (gauge,) = snapshot["gauges"]
+        assert gauge["name"] == "undefined" and math.isnan(gauge["value"])
+
+    def test_merge_after_parse_reconstructs_histograms(self):
+        """registry.merge(parse(...).as_snapshot()) == direct merge."""
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n_total", labels={"who": 'worker "0"'}).inc(2)
+        b.counter("n_total", labels={"who": 'worker "0"'}).inc(3)
+        a.histogram("lat", buckets=(0.1, 1.0)).observe(0.5)
+        b.histogram("lat", buckets=(0.1, 1.0)).observe(5.0)
+        b.gauge("depth").set(7)
+        direct = MetricsRegistry()
+        direct.merge(a.snapshot())
+        direct.merge(b.snapshot())
+        reparsed = MetricsRegistry()
+        for registry in (a, b):
+            parsed = parse_prometheus_metrics(registry.render_prometheus())
+            reparsed.merge(parsed.as_snapshot())
+        assert reparsed.counter_totals() == direct.counter_totals()
+        assert reparsed.snapshot() == direct.snapshot()
+        merged = reparsed.histogram("lat", buckets=(0.1, 1.0))
+        assert merged.counts == [0, 1, 1] and merged.count == 2
 
 
 class TestEngineRecording:

@@ -1,0 +1,316 @@
+"""Flight recorder tests: bounded capture, dumps, triggers (ISSUE 10).
+
+The recorder is the black box of the observability layer: a lock-safe
+ring riding the bus/logbook/tracer/injector as cheap listeners, dumping
+an atomic checksummed bundle on crash-like triggers.  Everything it
+captures must be the deterministic projection — identical sequences must
+dump byte-identical bundles.
+"""
+
+import json
+import os
+import signal
+
+import pytest
+
+from repro.analysis.dashboard import Dashboard
+from repro.faults.injection import FaultInjector
+from repro.obs import (
+    EventBus,
+    FlightRecorder,
+    Logbook,
+    MetricsRegistry,
+    Observability,
+    SloWatchdog,
+    Tracer,
+    install_flight_signal,
+    load_flight_dump,
+)
+
+
+class TestRing:
+    def test_capacity_bounds_ring_but_not_entries_seen(self):
+        recorder = FlightRecorder(capacity=4)
+        for index in range(10):
+            recorder.record("tick", index=index)
+        snapshot = recorder.snapshot()
+        assert len(snapshot) == 4
+        assert recorder.entries_seen == 10
+        # The *last* four survive, oldest first, with global ordinals.
+        assert [entry["index"] for entry in snapshot] == [6, 7, 8, 9]
+        assert [entry["n"] for entry in snapshot] == [6, 7, 8, 9]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_snapshot_is_a_copy(self):
+        recorder = FlightRecorder()
+        recorder.record("tick")
+        recorder.snapshot()[0]["kind"] = "mutated"
+        assert recorder.snapshot()[0]["kind"] == "tick"
+
+
+class TestListeners:
+    def test_bus_capture_strips_measured_keeps_seq(self):
+        bus = EventBus()
+        recorder = FlightRecorder().attach(bus=bus)
+        bus.publish("window", window_index=3, duration_seconds=1.25)
+        (entry,) = recorder.snapshot()
+        assert entry["kind"] == "bus"
+        assert entry["event"]["window_index"] == 3
+        assert entry["event"]["seq"] == 0
+        assert "duration_seconds" not in entry["event"]
+
+    def test_tag_filter_requires_every_pair(self):
+        bus = EventBus()
+        recorder = FlightRecorder(
+            tag_filter={"tenant": "tenant-00", "attack": "a/24"}
+        ).attach(bus=bus)
+        bus.publish("window", tenant="tenant-00", attack="a/24", window_index=0)
+        bus.publish("window", tenant="tenant-01", attack="a/24", window_index=1)
+        # Tenant matches but the attack key is absent entirely: the
+        # tenant-level engine event must stay out of per-attack rings.
+        bus.publish("engine_batch", tenant="tenant-00")
+        events = [entry["event"] for entry in recorder.snapshot()]
+        assert [event["window_index"] for event in events] == [0]
+
+    def test_log_capture_strips_measured_fields_ignores_threshold(self):
+        logbook = Logbook(level="error")
+        recorder = FlightRecorder().attach(logbook=logbook)
+        logbook.debug(
+            "below threshold", event="tick", step=4, wait_seconds=0.5
+        )
+        (entry,) = recorder.snapshot()
+        assert entry["kind"] == "log"
+        assert entry["level"] == "debug"
+        assert entry["msg"] == "below threshold"
+        assert entry["event"] == "tick"
+        assert entry["fields"] == {"step": 4}
+        assert logbook.suppressed == 1  # still dropped from rendering
+
+    def test_span_capture_drops_duration(self):
+        tracer = Tracer("run")
+        recorder = FlightRecorder().attach(tracer=tracer)
+        with tracer.span("simulate", configs=2):
+            pass
+        (entry,) = recorder.snapshot()
+        assert entry["kind"] == "span"
+        assert entry["name"] == "simulate"
+        assert entry["attrs"] == {"configs": 2}
+        assert entry["parent_id"] == tracer.root.span_id
+        assert "duration_seconds" not in entry
+
+    def test_fault_capture_via_injector(self):
+        injector = FaultInjector()
+        recorder = FlightRecorder().attach(injector=injector)
+        injector.log.record("collector_flap", 3)
+        (entry,) = recorder.snapshot()
+        assert entry == {
+            "n": 0, "kind": "fault", "fault": "collector_flap", "count": 3
+        }
+
+    def test_detach_removes_every_hook(self):
+        bus, logbook, tracer = EventBus(), Logbook(), Tracer("run")
+        injector = FaultInjector()
+        recorder = FlightRecorder().attach(
+            bus=bus, logbook=logbook, tracer=tracer, injector=injector
+        )
+        recorder.detach()
+        bus.publish("window")
+        logbook.info("hello")
+        with tracer.span("simulate"):
+            pass
+        injector.log.record("volume_noise")
+        assert recorder.snapshot() == []
+        assert not logbook.listeners and not tracer.listeners
+        assert not injector.log.listeners
+
+    def test_reattach_first_detaches(self):
+        bus = EventBus()
+        recorder = FlightRecorder().attach(bus=bus)
+        recorder.attach(bus=bus)
+        bus.publish("window")
+        assert len(recorder.snapshot()) == 1  # not double-captured
+
+
+class TestMetricDeltas:
+    def test_deltas_recorded_since_last_call(self):
+        registry = MetricsRegistry()
+        recorder = FlightRecorder(registry=registry)
+        counter = registry.counter("repro_ticks_total")
+        counter.inc(3)
+        assert recorder.record_metric_deltas() == {"repro_ticks_total": 3.0}
+        assert recorder.record_metric_deltas() == {}  # no movement, no entry
+        counter.inc()
+        assert recorder.record_metric_deltas() == {"repro_ticks_total": 1.0}
+        kinds = [entry["kind"] for entry in recorder.snapshot()]
+        assert kinds == ["metrics", "metrics"]
+
+    def test_without_registry_is_noop(self):
+        recorder = FlightRecorder()
+        assert recorder.record_metric_deltas() == {}
+        assert recorder.snapshot() == []
+
+
+class TestDump:
+    def test_unarmed_dump_returns_empty(self):
+        recorder = FlightRecorder()
+        recorder.record("tick")
+        assert recorder.dump("crash") == ""
+        assert recorder.dumps == []
+
+    def test_bundle_roundtrip_and_checksum(self, tmp_path):
+        recorder = FlightRecorder(
+            name="tenant-00/10.0.0.0-24",
+            directory=str(tmp_path),
+            context={"tenant": "tenant-00", "seed": 7},
+        )
+        recorder.record("tick", index=1)
+        path = recorder.dump("kill", context={"minute": 120.0})
+        assert os.path.basename(path) == (
+            "flight-tenant-00-10.0.0.0-24-kill-000.json"
+        )
+        payload = load_flight_dump(path)
+        assert payload["reason"] == "kill"
+        assert payload["ordinal"] == 0
+        assert payload["context"] == {
+            "tenant": "tenant-00", "seed": 7, "minute": 120.0
+        }
+        assert payload["entries"] == [{"n": 0, "kind": "tick", "index": 1}]
+        assert payload["entries_seen"] == 1
+
+    def test_tampered_bundle_rejected(self, tmp_path):
+        recorder = FlightRecorder(name="run", directory=str(tmp_path))
+        path = recorder.dump("crash")
+        document = json.loads(open(path).read())
+        document["payload"]["reason"] = "doctored"
+        with open(path, "w") as handle:
+            json.dump(document, handle)
+        with pytest.raises(ValueError, match="checksum"):
+            load_flight_dump(path)
+
+    def test_repeated_dumps_rotate_ordinals(self, tmp_path):
+        recorder = FlightRecorder(name="run", directory=str(tmp_path))
+        first = recorder.dump("kill")
+        second = recorder.dump("kill")
+        other = recorder.dump("slo_breach")
+        assert first.endswith("kill-000.json")
+        assert second.endswith("kill-001.json")
+        assert other.endswith("slo_breach-000.json")
+        assert recorder.dumps == [first, second, other]
+
+    def test_new_recorder_resumes_past_on_disk_ordinals(self, tmp_path):
+        """A soak-restart epoch must not overwrite its predecessor's bundles."""
+        FlightRecorder(name="run", directory=str(tmp_path)).dump("kill")
+        rebuilt = FlightRecorder(name="run", directory=str(tmp_path))
+        path = rebuilt.dump("kill")
+        assert path.endswith("kill-001.json")
+        assert len(list(tmp_path.glob("flight-*.json"))) == 2
+
+    def test_identical_sequences_dump_identical_bytes(self, tmp_path):
+        """The determinism contract: same capture -> same bundle bytes."""
+
+        def run(directory):
+            bus, logbook, tracer = EventBus(), Logbook(), Tracer("run")
+            registry = MetricsRegistry()
+            recorder = FlightRecorder(
+                name="run",
+                directory=str(directory),
+                context={"seed": 11},
+                registry=registry,
+            ).attach(bus=bus, logbook=logbook, tracer=tracer)
+            registry.counter("repro_ticks_total").inc(2)
+            bus.publish("window", window_index=0, duration_seconds=0.37)
+            logbook.info("window done", event="window", elapsed_seconds=0.2)
+            with tracer.span("simulate"):
+                pass
+            return recorder.dump("crash")
+
+        first = run(tmp_path / "a")
+        second = run(tmp_path / "b")
+        assert open(first, "rb").read() == open(second, "rb").read()
+
+    def test_dump_announces_on_bus_without_path(self, tmp_path):
+        bus = EventBus()
+        recorder = FlightRecorder(
+            name="run",
+            directory=str(tmp_path),
+            context={"tenant": "tenant-00", "shard": "tenant-00/a"},
+        ).attach(bus=bus)
+        recorder.dump("kill")
+        announce = bus.history()[-1]
+        assert announce["kind"] == "flight"
+        assert announce["flight"] == "run"
+        assert announce["reason"] == "kill"
+        assert announce["ordinal"] == 0
+        assert announce["tenant"] == "tenant-00"
+        assert announce["shard"] == "tenant-00/a"
+        assert not any("path" in key for key in announce)
+
+    def test_unarmed_dump_does_not_announce(self):
+        bus = EventBus()
+        recorder = FlightRecorder().attach(bus=bus)
+        recorder.dump("crash")
+        assert all(event["kind"] != "flight" for event in bus.history())
+
+
+class TestTriggers:
+    def test_slo_breach_dumps_bundle(self, tmp_path):
+        watchdog = SloWatchdog()
+        watchdog.flight = FlightRecorder(name="run", directory=str(tmp_path))
+        assert watchdog.check("window_lag_seconds", 99.0) is False
+        (path,) = watchdog.flight.dumps
+        payload = load_flight_dump(path)
+        assert payload["reason"] == "slo_breach"
+        assert payload["context"]["slo"] == "window_lag_seconds"
+        assert "99" in payload["context"]["detail"]
+
+    def test_arm_flight_rides_the_whole_bundle(self, tmp_path):
+        obs = Observability.for_run("track")
+        recorder = obs.arm_flight("track", directory=str(tmp_path))
+        assert obs.flight is recorder
+        obs.bus.publish("window", window_index=0)
+        obs.logbook.info("hello")
+        with obs.tracer.span("simulate"):
+            pass
+        obs.registry.counter("repro_ticks_total").inc()
+        path = recorder.dump("crash")
+        payload = load_flight_dump(path)
+        kinds = [entry["kind"] for entry in payload["entries"]]
+        assert kinds == ["bus", "log", "span", "metrics"]
+        assert payload["counters"]["repro_ticks_total"] == 1.0
+        recorder.detach()
+
+    @pytest.mark.skipif(
+        not hasattr(signal, "SIGUSR1"), reason="needs POSIX signals"
+    )
+    def test_sigusr1_dumps_black_box(self, tmp_path):
+        recorder = FlightRecorder(name="live", directory=str(tmp_path))
+        recorder.record("tick")
+        previous = install_flight_signal(recorder)
+        try:
+            os.kill(os.getpid(), signal.SIGUSR1)
+        finally:
+            signal.signal(signal.SIGUSR1, previous or signal.SIG_DFL)
+        (path,) = recorder.dumps
+        assert load_flight_dump(path)["reason"] == "signal"
+
+
+class TestDashboardIntegration:
+    def test_flight_events_surface_in_header(self):
+        dash = Dashboard()
+        dash.ingest(
+            {"seq": 0, "kind": "flight", "flight": "tenant-00/a",
+             "reason": "kill", "ordinal": 0}
+        )
+        dash.ingest(
+            {"seq": 1, "kind": "flight", "flight": "tenant-00/a",
+             "reason": "kill", "ordinal": 1}
+        )
+        rendered = dash.render()
+        assert "flight dumps: kill×2" in rendered
+        assert "last: tenant-00/a #1 (kill)" in rendered
+
+    def test_no_flight_line_without_dumps(self):
+        assert "flight dumps" not in Dashboard().render()
